@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) for the kernels everything else is
+// built from: Philox direction draws, atomic coordinate updates, SpMV
+// partitions, and single RGS/AsyRGS coordinate steps.  These track kernel
+// regressions; the paper-level experiments live in the fig*/table* binaries.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "asyrgs/core/rgs.hpp"
+#include "asyrgs/gen/gram.hpp"
+#include "asyrgs/gen/laplacian.hpp"
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/sparse/spmv.hpp"
+#include "asyrgs/support/atomics.hpp"
+#include "asyrgs/support/prng.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+namespace {
+
+void BM_PhiloxAt(benchmark::State& state) {
+  const Philox4x32 gen(42);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.at(i++));
+  }
+}
+BENCHMARK(BM_PhiloxAt);
+
+void BM_PhiloxIndexAt(benchmark::State& state) {
+  const Philox4x32 gen(42);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.index_at(i++, 120147));
+  }
+}
+BENCHMARK(BM_PhiloxIndexAt);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_AtomicAddUncontended(benchmark::State& state) {
+  double slot = 0.0;
+  for (auto _ : state) {
+    atomic_add_relaxed(slot, 1.0);
+  }
+  benchmark::DoNotOptimize(slot);
+}
+BENCHMARK(BM_AtomicAddUncontended);
+
+void BM_RacyAdd(benchmark::State& state) {
+  double slot = 0.0;
+  for (auto _ : state) {
+    racy_add(slot, 1.0);
+  }
+  benchmark::DoNotOptimize(slot);
+}
+BENCHMARK(BM_RacyAdd);
+
+/// SpMV across partition strategies on the skewed Gram matrix.
+void BM_SpmvGram(benchmark::State& state) {
+  static const SocialGram system = [] {
+    SocialGramOptions opt;
+    opt.terms = 2000;
+    opt.documents = 8000;
+    opt.mean_doc_length = 8;
+    return make_social_gram(opt);
+  }();
+  const CsrMatrix& a = system.gram;
+  const std::vector<double> x = random_vector(a.cols(), 1);
+  std::vector<double> y(static_cast<std::size_t>(a.rows()));
+  ThreadPool& pool = ThreadPool::global();
+  const auto partition = static_cast<RowPartition>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    spmv(pool, a, x.data(), y.data(), workers, partition);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvGram)
+    ->ArgsProduct({{0, 1, 2} /* partition */, {1, 4, 0} /* workers; 0=all */})
+    ->ArgNames({"partition", "workers"});
+
+/// One sequential RGS sweep on a 2-D Laplacian.
+void BM_RgsSweepLaplacian(benchmark::State& state) {
+  const index_t side = state.range(0);
+  const CsrMatrix a = laplacian_2d(side, side);
+  const std::vector<double> b = random_vector(a.rows(), 2);
+  std::vector<double> x(a.rows(), 0.0);
+  RgsOptions opt;
+  opt.sweeps = 1;
+  for (auto _ : state) {
+    opt.seed++;
+    rgs_solve(a, b, x, opt);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.rows());
+}
+BENCHMARK(BM_RgsSweepLaplacian)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace asyrgs
+
+BENCHMARK_MAIN();

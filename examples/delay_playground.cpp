@@ -1,0 +1,85 @@
+// Delay playground: watch the governing iterations (8)/(9) of the paper
+// under programmable delay schedules, next to the theory's bounds.
+//
+//   build/examples/delay_playground [--n 300] [--tau 16] [--beta 1.0]
+//
+// Uses the bounded-delay simulator, which enforces the analysis model a
+// real parallel run cannot (consistent reads, exact tau, delays independent
+// of the random directions), and prints the error trajectory for several
+// schedules side by side.
+#include <cmath>
+#include <iostream>
+
+#include "asyrgs/asyrgs.hpp"
+
+using namespace asyrgs;
+
+int main(int argc, char** argv) {
+  CliParser cli("delay_playground",
+                "error decay under programmable bounded delays");
+  auto n_opt = cli.add_int("n", 300, "matrix dimension");
+  auto tau = cli.add_int("tau", 16, "delay bound");
+  auto beta = cli.add_double("beta", 1.0, "step size");
+  auto sweeps = cli.add_int("sweeps", 30, "simulated sweeps");
+  cli.parse(argc, argv);
+
+  const index_t n = *n_opt;
+  RandomBandedOptions gopt;
+  gopt.n = n;
+  gopt.seed = 3;
+  const CsrMatrix raw = random_sdd(gopt);
+  const CsrMatrix a = UnitDiagonalScaling(raw).scale_matrix(raw);
+
+  const std::vector<double> x_star = random_vector(n, 7);
+  const std::vector<double> b = rhs_from_solution(a, x_star);
+  const std::vector<double> x0(static_cast<std::size_t>(n), 0.0);
+  const double e0 = std::pow(a_norm_error(a, x0, x_star), 2);
+
+  const TheoremInputs inputs = measure_theorem_inputs(
+      ThreadPool::global(), a, *tau, *beta, static_cast<int>(n));
+  std::cout << "n=" << n << " kappa=" << inputs.kappa() << " tau=" << *tau
+            << " beta=" << *beta << " 2*rho*tau="
+            << 2.0 * inputs.rho * static_cast<double>(*tau) << "\n";
+  std::cout << "Theorem 2/3 applicable: "
+            << (consistent_bound_applicable(inputs) ? "yes" : "no")
+            << ", Theorem 4 applicable: "
+            << (inconsistent_bound_applicable(inputs) ? "yes" : "no") << "\n\n";
+
+  const std::uint64_t total = static_cast<std::uint64_t>(*sweeps) *
+                              static_cast<std::uint64_t>(n);
+  SimOptions sim;
+  sim.iterations = total;
+  sim.step_size = *beta;
+  sim.record_every = static_cast<std::uint64_t>(n);
+  sim.seed = 1;
+
+  const ZeroDelay zero;
+  const FixedDelay fixed(*tau);
+  const UniformDelay uniform(*tau, 99);
+  const BatchDelay batch(*tau + 1);
+  const BernoulliInclusion bernoulli(*tau, 0.5, 123);
+
+  const SimResult r_zero = simulate_consistent(a, b, x0, x_star, zero, sim);
+  const SimResult r_fixed = simulate_consistent(a, b, x0, x_star, fixed, sim);
+  const SimResult r_unif =
+      simulate_consistent(a, b, x0, x_star, uniform, sim);
+  const SimResult r_batch = simulate_consistent(a, b, x0, x_star, batch, sim);
+  const SimResult r_bern =
+      simulate_inconsistent(a, b, x0, x_star, bernoulli, sim);
+
+  Table table({"sweep", "sync", "fixed(tau)", "uniform(tau)", "batch(tau+1)",
+               "bernoulli-inc"});
+  for (std::size_t i = 0; i < r_zero.error_sq_history.size(); ++i) {
+    auto rel = [&](const SimResult& r) {
+      return fmt_sci(r.error_sq_history[i] / e0, 2);
+    };
+    table.add_row({std::to_string(i), rel(r_zero), rel(r_fixed), rel(r_unif),
+                   rel(r_batch), rel(r_bern)});
+  }
+  table.print(std::cout);
+  std::cout << "\ncolumns are E_j/E_0 = ||x_j - x*||_A^2 / ||x_0 - x*||_A^2 "
+               "recorded once per sweep.\n"
+            << "Delays cost accuracy gradually; randomization keeps every "
+               "schedule convergent.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The paper's motivating workload (Section 9): multi-label linear
+// regression on social-media text, i.e. many simultaneous right-hand sides
+// over one large, unstructured, ill-conditioned Gram matrix — solved to the
+// *low* accuracy big-data applications actually need.
+//
+//   build/examples/social_regression [--terms 4000] [--rhs 16] [--tol 1e-3]
+//
+// Compares, at that low accuracy: grouped CG, sequential randomized
+// Gauss-Seidel, and AsyRGS on all cores.  On this workload the basic
+// randomized iteration reaches the target in a handful of sweeps and the
+// asynchronous version reaches it fastest in wall time — the paper's
+// "best choice for solving the said linear system to the required
+// accuracy".
+#include <iostream>
+
+#include "asyrgs/asyrgs.hpp"
+
+using namespace asyrgs;
+
+int main(int argc, char** argv) {
+  CliParser cli("social_regression",
+                "multi-label regression on a synthetic social-media corpus");
+  auto terms = cli.add_int("terms", 4000, "vocabulary size (Gram dimension)");
+  auto documents = cli.add_int("documents", 16000, "corpus size");
+  auto rhs = cli.add_int("rhs", 16, "label columns (paper: 51)");
+  auto tol = cli.add_double("tol", 1e-3, "downstream accuracy target");
+  auto budget = cli.add_int("budget", 200, "sweep/iteration budget");
+  cli.parse(argc, argv);
+
+  SocialGramOptions gopt;
+  gopt.terms = *terms;
+  gopt.documents = *documents;
+  gopt.mean_doc_length = 10;
+  gopt.ridge = 5.0;
+  const SocialGram system = make_social_gram(gopt);
+  const CsrMatrix& a = system.gram;
+  const RowNnzStats stats = row_nnz_stats(a);
+  std::cout << "Gram matrix: n=" << a.rows() << " nnz=" << a.nnz()
+            << " row sizes min/mean/max = " << stats.min << "/" << stats.mean
+            << "/" << stats.max << " (heavily skewed, like the paper's)\n\n";
+
+  ThreadPool& pool = ThreadPool::global();
+  const MultiVector b = random_multivector(a.rows(), *rhs, 7);
+
+  // --- grouped CG ------------------------------------------------------------
+  {
+    MultiVector x(a.rows(), *rhs);
+    SolveOptions opt;
+    opt.max_iterations = static_cast<int>(*budget);
+    opt.rel_tol = *tol;
+    WallTimer t;
+    const BlockSolveReport rep = block_cg_solve(pool, a, b, x, opt, 0,
+                                                RowPartition::kRoundRobin);
+    std::cout << "CG (all threads):        " << rep.iterations
+              << " iterations, " << t.seconds() << " s, "
+              << rep.columns_converged << "/" << *rhs << " labels at "
+              << *tol << "\n";
+  }
+
+  // --- sequential randomized Gauss-Seidel -------------------------------------
+  {
+    MultiVector x(a.rows(), *rhs);
+    RgsOptions opt;
+    opt.sweeps = static_cast<int>(*budget);
+    opt.rel_tol = *tol;
+    WallTimer t;
+    const RgsReport rep = rgs_solve_block(a, b, x, opt);
+    std::cout << "Randomized G-S (1 core): " << rep.sweeps_done
+              << " sweeps,     " << t.seconds() << " s, converged="
+              << (rep.converged ? "yes" : "no") << "\n";
+  }
+
+  // --- AsyRGS on all cores ------------------------------------------------------
+  {
+    MultiVector x(a.rows(), *rhs);
+    AsyncRgsOptions opt;
+    opt.sweeps = static_cast<int>(*budget);
+    opt.rel_tol = *tol;
+    opt.sync = SyncMode::kBarrierPerSweep;
+    WallTimer t;
+    const AsyncRgsReport rep = async_rgs_solve_block(pool, a, b, x, opt);
+    std::cout << "AsyRGS (" << rep.workers << " threads):     "
+              << rep.sweeps_done << " sweeps,     " << t.seconds()
+              << " s, converged=" << (rep.converged ? "yes" : "no") << "\n";
+  }
+
+  std::cout << "\nAt low accuracy the basic randomized iteration needs only "
+               "a few sweeps and\nasynchronous execution makes those sweeps "
+               "scale — the paper's Section 9 story.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "asyrgs/core/async_jacobi.hpp"
+
+#include "asyrgs/support/atomics.hpp"
+#include "asyrgs/support/timer.hpp"
+
+namespace asyrgs {
+
+AsyncRgsReport async_jacobi_solve(ThreadPool& pool, const CsrMatrix& a,
+                                  const std::vector<double>& b,
+                                  std::vector<double>& x,
+                                  const AsyncJacobiOptions& options) {
+  require(a.square(), "async_jacobi: matrix must be square");
+  require(static_cast<index_t>(b.size()) == a.rows() && x.size() == b.size(),
+          "async_jacobi: shape mismatch");
+  require(options.sweeps >= 0, "async_jacobi: sweeps must be non-negative");
+  require(options.damping > 0.0 && options.damping <= 1.0,
+          "async_jacobi: damping must be in (0, 1]");
+  const index_t n = a.rows();
+
+  std::vector<double> inv_diag = a.diagonal();
+  for (double& d : inv_diag) {
+    require(d != 0.0, "async_jacobi: zero diagonal entry");
+    d = 1.0 / d;
+  }
+
+  int workers = options.workers > 0 ? options.workers : pool.size();
+  if (workers > pool.size()) workers = pool.size();
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  const double omega = options.damping;
+
+  WallTimer timer;
+  pool.run_team(workers, [&](int id, int team) {
+    // Worker id relaxes its owned rows over and over; neighbours' values
+    // stream in asynchronously.
+    const index_t chunk = (n + team - 1) / team;
+    const index_t lo = std::min<index_t>(static_cast<index_t>(id) * chunk, n);
+    const index_t hi = std::min<index_t>(lo + chunk, n);
+    auto relax_row = [&](index_t i) {
+      double acc = b[i];
+      double diag_x = 0.0;
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_vals(i);
+      for (std::size_t t = 0; t < cols.size(); ++t) {
+        const double xv = atomic_load_relaxed(x[cols[t]]);
+        if (cols[t] == i)
+          diag_x = xv;
+        else
+          acc -= vals[t] * xv;
+      }
+      const double target = acc * inv_diag[i];
+      atomic_store_relaxed(x[i], (1.0 - omega) * diag_x + omega * target);
+    };
+    for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+      if (options.ownership == JacobiOwnership::kContiguous) {
+        for (index_t i = lo; i < hi; ++i) relax_row(i);
+      } else {
+        for (index_t i = id; i < n; i += team) relax_row(i);
+      }
+    }
+  });
+  report.sweeps_done = options.sweeps;
+  report.updates = static_cast<long long>(options.sweeps) *
+                   static_cast<long long>(n);
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,207 @@
+#include "asyrgs/core/async_lsq.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "asyrgs/linalg/vector_ops.hpp"
+#include "asyrgs/support/atomics.hpp"
+#include "asyrgs/support/barrier.hpp"
+#include "asyrgs/support/prng.hpp"
+#include "asyrgs/support/timer.hpp"
+
+namespace asyrgs {
+
+namespace {
+
+/// Squared Euclidean norms of the columns of A, read off the rows of A^T.
+std::vector<double> column_sq_norms(const CsrMatrix& at) {
+  std::vector<double> sq(static_cast<std::size_t>(at.rows()), 0.0);
+  for (index_t j = 0; j < at.rows(); ++j) {
+    double acc = 0.0;
+    for (double v : at.row_vals(j)) acc += v * v;
+    sq[j] = acc;
+  }
+  return sq;
+}
+
+/// ||A^T (b - A x)|| / ||A^T b|| computed serially (synchronization points
+/// and sequential code only).
+double normal_residual(const CsrMatrix& a, const std::vector<double>& b,
+                       const std::vector<double>& x) {
+  std::vector<double> r(static_cast<std::size_t>(a.rows()));
+  a.multiply(x.data(), r.data());
+  for (index_t i = 0; i < a.rows(); ++i) r[i] = b[i] - r[i];
+  std::vector<double> g(static_cast<std::size_t>(a.cols()));
+  a.multiply_transpose(r.data(), g.data());
+  std::vector<double> g0(static_cast<std::size_t>(a.cols()));
+  a.multiply_transpose(b.data(), g0.data());
+  const double denom = nrm2(g0);
+  return denom > 0.0 ? nrm2(g) / denom : nrm2(g);
+}
+
+}  // namespace
+
+RgsReport rcd_lsq_solve(const CsrMatrix& a, const std::vector<double>& b,
+                        std::vector<double>& x, const RgsOptions& options) {
+  require(static_cast<index_t>(b.size()) == a.rows() &&
+              static_cast<index_t>(x.size()) == a.cols(),
+          "rcd_lsq_solve: shape mismatch");
+  require(options.step_size > 0.0 && options.step_size < 2.0,
+          "rcd_lsq_solve: step size must be in (0, 2)");
+  const index_t n = a.cols();
+  const CsrMatrix at = a.transpose();
+  const std::vector<double> col_sq = column_sq_norms(at);
+  for (double s : col_sq)
+    require(s > 0.0, "rcd_lsq_solve: zero column (A must have full rank)");
+
+  const Philox4x32 dirs(options.seed);
+  const double beta = options.step_size;
+
+  WallTimer timer;
+  RgsReport report;
+
+  // Maintained residual r = b - A x (iteration (20) bookkeeping).
+  std::vector<double> r(static_cast<std::size_t>(a.rows()));
+  a.multiply(x.data(), r.data());
+  for (index_t i = 0; i < a.rows(); ++i) r[i] = b[i] - r[i];
+
+  std::uint64_t pos = 0;
+  for (int sweep = 1; sweep <= options.sweeps; ++sweep) {
+    for (index_t t = 0; t < n; ++t, ++pos) {
+      const index_t j = dirs.index_at(pos, n);
+      // gamma = A_{:,j}^T r / ||A_{:,j}||^2 over the column's row support.
+      const auto rows = at.row_cols(j);
+      const auto vals = at.row_vals(j);
+      double gamma = 0.0;
+      for (std::size_t s = 0; s < rows.size(); ++s)
+        gamma += vals[s] * r[rows[s]];
+      gamma *= beta / col_sq[j];
+      x[j] += gamma;
+      for (std::size_t s = 0; s < rows.size(); ++s)
+        r[rows[s]] -= gamma * vals[s];
+    }
+    report.sweeps_done = sweep;
+    report.updates += n;
+
+    if (options.track_history || options.rel_tol > 0.0) {
+      const double rel = normal_residual(a, b, x);
+      report.final_relative_residual = rel;
+      if (options.track_history) report.residual_history.push_back(rel);
+      if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
+        report.converged = true;
+        break;
+      }
+    }
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
+                               const CsrMatrix& at,
+                               const std::vector<double>& b,
+                               std::vector<double>& x,
+                               const AsyncRgsOptions& options) {
+  require(static_cast<index_t>(b.size()) == a.rows() &&
+              static_cast<index_t>(x.size()) == a.cols(),
+          "async_lsq_solve: shape mismatch");
+  require(at.rows() == a.cols() && at.cols() == a.rows(),
+          "async_lsq_solve: `at` must be the transpose of `a`");
+  require(options.step_size > 0.0 && options.step_size < 2.0,
+          "async_lsq_solve: step size must be in (0, 2)");
+  const index_t n = a.cols();
+  const std::vector<double> col_sq = column_sq_norms(at);
+  for (double s : col_sq)
+    require(s > 0.0, "async_lsq_solve: zero column (A must have full rank)");
+
+  const Philox4x32 dirs(options.seed);
+  const double beta = options.step_size;
+  int workers = options.workers > 0 ? options.workers : pool.size();
+  if (workers > pool.size()) workers = pool.size();
+
+  AsyncRgsReport report;
+  report.workers = workers;
+
+  // One asynchronous column update (iteration (21)): the residual entries
+  // for the column's rows are recomputed from shared x on every step.
+  auto update_column = [&](index_t j) {
+    const auto rows = at.row_cols(j);
+    const auto col_vals = at.row_vals(j);
+    double gamma = 0.0;
+    for (std::size_t s = 0; s < rows.size(); ++s) {
+      const index_t i = rows[s];
+      // r_i = b_i - A_i x with relaxed-atomic reads of the shared iterate.
+      double ri = b[i];
+      const auto arow_cols = a.row_cols(i);
+      const auto arow_vals = a.row_vals(i);
+      for (std::size_t q = 0; q < arow_cols.size(); ++q)
+        ri -= arow_vals[q] * atomic_load_relaxed(x[arow_cols[q]]);
+      gamma += col_vals[s] * ri;
+    }
+    const double delta = beta * gamma / col_sq[j];
+    if (options.atomic_writes)
+      atomic_add_relaxed(x[j], delta);
+    else
+      racy_add(x[j], delta);
+  };
+
+  WallTimer timer;
+  if (options.sync == SyncMode::kFreeRunning) {
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(options.sweeps) *
+        static_cast<std::uint64_t>(n);
+    pool.run_team(workers, [&](int id, int team) {
+      for (std::uint64_t pos = static_cast<std::uint64_t>(id); pos < total;
+           pos += static_cast<std::uint64_t>(team)) {
+        update_column(dirs.index_at(pos, n));
+      }
+    });
+    report.sweeps_done = options.sweeps;
+    report.updates = static_cast<long long>(total);
+  } else {
+    SpinBarrier barrier(workers);
+    std::atomic<bool> stop{false};
+    std::atomic<int> sweeps_done{0};
+    const bool check = options.track_history || options.rel_tol > 0.0;
+    pool.run_team(workers, [&](int id, int team) {
+      const bool use_barrier = (team == workers && team > 1);
+      for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+        const std::uint64_t base = static_cast<std::uint64_t>(sweep) *
+                                   static_cast<std::uint64_t>(n);
+        for (index_t t = id; t < n; t += team)
+          update_column(dirs.index_at(base + static_cast<std::uint64_t>(t), n));
+        if (use_barrier) barrier.arrive_and_wait();
+        if (id == 0) {
+          sweeps_done.store(sweep + 1, std::memory_order_relaxed);
+          if (check) {
+            const double rel = normal_residual(a, b, x);
+            report.final_relative_residual = rel;
+            if (options.track_history)
+              report.residual_history.push_back(rel);
+            if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
+              report.converged = true;
+              stop.store(true, std::memory_order_release);
+            }
+          }
+        }
+        if (use_barrier) barrier.arrive_and_wait();
+        if (stop.load(std::memory_order_acquire)) break;
+      }
+    });
+    report.sweeps_done = sweeps_done.load(std::memory_order_relaxed);
+    report.updates =
+        static_cast<long long>(report.sweeps_done) * static_cast<long long>(n);
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
+                               const std::vector<double>& b,
+                               std::vector<double>& x,
+                               const AsyncRgsOptions& options) {
+  const CsrMatrix at = a.transpose();
+  return async_lsq_solve(pool, a, at, b, x, options);
+}
+
+}  // namespace asyrgs

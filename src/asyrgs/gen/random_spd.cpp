@@ -1,0 +1,128 @@
+#include "asyrgs/gen/random_spd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "asyrgs/sparse/coo.hpp"
+#include "asyrgs/support/prng.hpp"
+
+namespace asyrgs {
+
+namespace {
+
+/// Magnitude in [0.1, 1] with random sign.
+double random_offdiag(Xoshiro256& rng) {
+  const double mag = 0.1 + 0.9 * uniform_real(rng);
+  return (rng() & 1u) ? mag : -mag;
+}
+
+}  // namespace
+
+CsrMatrix random_sdd(const RandomBandedOptions& opt) {
+  require(opt.n > 0, "random_sdd: n must be positive");
+  require(opt.offdiag_per_row >= 0 && opt.bandwidth >= 1,
+          "random_sdd: bad sparsity parameters");
+  Xoshiro256 rng(opt.seed);
+
+  // Sample the strictly-lower off-diagonal pattern; symmetrize; then set the
+  // diagonal from the assembled row sums to guarantee strict dominance.
+  std::vector<std::map<index_t, double>> rows(
+      static_cast<std::size_t>(opt.n));
+  for (index_t i = 0; i < opt.n; ++i) {
+    // Half the target count below the diagonal (the mirror supplies the rest).
+    const index_t tries = (opt.offdiag_per_row + 1) / 2;
+    for (index_t t = 0; t < tries; ++t) {
+      const index_t lo = std::max<index_t>(0, i - opt.bandwidth);
+      if (lo >= i) continue;
+      const index_t j = lo + uniform_index(rng, i - lo);
+      const double v = random_offdiag(rng);
+      rows[i][j] += v;
+      rows[j][i] += v;
+    }
+  }
+
+  CooBuilder b(opt.n, opt.n);
+  for (index_t i = 0; i < opt.n; ++i) {
+    double off_sum = 0.0;
+    for (const auto& [j, v] : rows[i]) {
+      b.add(i, j, v);
+      off_sum += std::abs(v);
+    }
+    b.add(i, i, (1.0 + opt.dominance_margin) * off_sum + opt.dominance_margin);
+  }
+  return b.to_csr();
+}
+
+CsrMatrix random_spd_product(const RandomSpdOptions& opt) {
+  require(opt.n > 0, "random_spd_product: n must be positive");
+  require(opt.ridge > 0.0, "random_spd_product: ridge must be positive");
+  Xoshiro256 rng(opt.seed);
+
+  // L: unit-ish lower triangular with banded random entries.
+  std::vector<std::vector<std::pair<index_t, double>>> l_rows(
+      static_cast<std::size_t>(opt.n));
+  for (index_t i = 0; i < opt.n; ++i) {
+    auto& row = l_rows[i];
+    for (index_t t = 0; t < opt.factor_entries_per_row; ++t) {
+      const index_t lo = std::max<index_t>(0, i - opt.bandwidth);
+      if (lo >= i) break;
+      const index_t j = lo + uniform_index(rng, i - lo);
+      row.emplace_back(j, 0.5 * random_offdiag(rng));
+    }
+    row.emplace_back(i, 0.75 + 0.5 * uniform_real(rng));
+    std::sort(row.begin(), row.end());
+    // Merge duplicate columns produced by the random sampling.
+    std::vector<std::pair<index_t, double>> merged;
+    for (const auto& e : row) {
+      if (!merged.empty() && merged.back().first == e.first)
+        merged.back().second += e.second;
+      else
+        merged.push_back(e);
+    }
+    row = std::move(merged);
+  }
+
+  // A = L L^T + ridge I assembled row by row: A_ik = <L_i, L_k> over shared
+  // columns.  Rows of L are short, so accumulate via a sparse outer pass:
+  // for every column c of L, all rows containing c contribute pairwise.
+  std::vector<std::vector<std::pair<index_t, double>>> col_hits(
+      static_cast<std::size_t>(opt.n));
+  for (index_t i = 0; i < opt.n; ++i)
+    for (const auto& [j, v] : l_rows[i]) col_hits[j].emplace_back(i, v);
+
+  CooBuilder b(opt.n, opt.n);
+  for (index_t c = 0; c < opt.n; ++c) {
+    const auto& hits = col_hits[c];
+    for (std::size_t p = 0; p < hits.size(); ++p) {
+      for (std::size_t q = p; q < hits.size(); ++q) {
+        const double v = hits[p].second * hits[q].second;
+        if (hits[p].first == hits[q].first)
+          b.add(hits[p].first, hits[p].first, v);
+        else
+          b.add_symmetric(std::max(hits[p].first, hits[q].first),
+                          std::min(hits[p].first, hits[q].first), v);
+      }
+    }
+  }
+  for (index_t i = 0; i < opt.n; ++i) b.add(i, i, opt.ridge);
+  return b.to_csr();
+}
+
+CsrMatrix block_coupled_spd(index_t n, index_t block, double c) {
+  require(n > 0 && block >= 2 && block <= n,
+          "block_coupled_spd: need 2 <= block <= n");
+  require(c > 0.0 && c < 1.0, "block_coupled_spd: c must be in (0, 1)");
+  CooBuilder builder(n, n);
+  for (index_t base = 0; base < n; base += block) {
+    const index_t hi = std::min(base + block, n);
+    for (index_t i = base; i < hi; ++i) {
+      for (index_t j = base; j < hi; ++j)
+        builder.add(i, j, i == j ? 1.0 : c);
+    }
+  }
+  return builder.to_csr();
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,48 @@
+#include "asyrgs/gen/rhs.hpp"
+
+#include "asyrgs/support/prng.hpp"
+
+namespace asyrgs {
+
+std::vector<double> random_vector(index_t n, std::uint64_t seed) {
+  require(n > 0, "random_vector: n must be positive");
+  Xoshiro256 rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = normal(rng);
+  return v;
+}
+
+MultiVector random_multivector(index_t n, index_t k, std::uint64_t seed) {
+  MultiVector out(n, k);
+  Xoshiro256 rng(seed);
+  double* p = out.data();
+  for (std::size_t t = 0; t < out.size(); ++t) p[t] = normal(rng);
+  return out;
+}
+
+std::vector<double> rhs_from_solution(const CsrMatrix& a,
+                                      const std::vector<double>& x) {
+  require(static_cast<index_t>(x.size()) == a.cols(),
+          "rhs_from_solution: length mismatch");
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  a.multiply(x.data(), b.data());
+  return b;
+}
+
+MultiVector rhs_from_solution(const CsrMatrix& a, const MultiVector& x) {
+  require(x.rows() == a.cols(), "rhs_from_solution: shape mismatch");
+  MultiVector b(a.rows(), x.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double* b_row = b.row(i);
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      const double aij = vals[t];
+      const double* x_row = x.row(cols[t]);
+      for (index_t c = 0; c < x.cols(); ++c) b_row[c] += aij * x_row[c];
+    }
+  }
+  return b;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,32 @@
+// Right-hand-side and reference-solution generators.
+//
+// Two experiment styles from the paper:
+//  * residual experiments use arbitrary (random) right-hand sides;
+//  * A-norm-of-error experiments (Figure 2, right) construct b = A x* from a
+//    known solution x*, so ||x - x*||_A is computable exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/sparse/csr.hpp"
+
+namespace asyrgs {
+
+/// Dense standard-normal vector of length n.
+[[nodiscard]] std::vector<double> random_vector(index_t n, std::uint64_t seed);
+
+/// Dense standard-normal block of shape n x k.
+[[nodiscard]] MultiVector random_multivector(index_t n, index_t k,
+                                             std::uint64_t seed);
+
+/// b = A x for a given reference solution (serial; generation-time only).
+[[nodiscard]] std::vector<double> rhs_from_solution(const CsrMatrix& a,
+                                                    const std::vector<double>& x);
+
+/// B = A X for a block of reference solutions.
+[[nodiscard]] MultiVector rhs_from_solution(const CsrMatrix& a,
+                                            const MultiVector& x);
+
+}  // namespace asyrgs

@@ -1,0 +1,25 @@
+// (Preconditioned) conjugate gradients.
+//
+// The Krylov baseline of the paper's experiments.  CG converges in
+// O(sqrt(kappa)) iterations versus O(kappa) sweeps for Gauss-Seidel-type
+// methods, but each iteration requires global reductions — the
+// synchronization cost that motivates asynchronous methods.  A *fixed*
+// preconditioner may be supplied; for the randomized/asynchronous
+// preconditioners use fcg_solve (flexible outer method) instead.
+#pragma once
+
+#include "asyrgs/iter/precond.hpp"
+#include "asyrgs/iter/solver_base.hpp"
+#include "asyrgs/sparse/csr.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+/// Runs preconditioned CG on SPD Ax = b starting from `x` (in place).
+/// `precond` may be nullptr for plain CG.
+SolveReport cg_solve(ThreadPool& pool, const CsrMatrix& a,
+                     const std::vector<double>& b, std::vector<double>& x,
+                     const SolveOptions& options = {},
+                     Preconditioner* precond = nullptr, int workers = 0);
+
+}  // namespace asyrgs

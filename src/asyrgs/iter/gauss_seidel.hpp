@@ -1,0 +1,28 @@
+// Deterministic (cyclic) Gauss-Seidel and SOR.
+//
+// The classic sequential iteration the randomized variant (core/rgs.hpp)
+// descends from: sweeping coordinates in order 1..n corresponds to the
+// deterministic direction choice d_i = e^((i mod n)+1) in the paper's
+// Section 3.  Inherently sequential; provided as a correctness baseline and
+// for the ablation comparing cyclic vs randomized coordinate orders.
+#pragma once
+
+#include "asyrgs/iter/solver_base.hpp"
+#include "asyrgs/sparse/csr.hpp"
+
+namespace asyrgs {
+
+/// One in-place forward Gauss-Seidel/SOR sweep over all rows:
+/// x_i <- x_i + omega * (b_i - A_i x) / A_ii for i = 0..n-1.
+void sor_sweep(const CsrMatrix& a, const std::vector<double>& b,
+               std::vector<double>& x, double omega = 1.0);
+
+/// Runs Gauss-Seidel (omega = 1) or SOR sweeps until the relative residual
+/// target is met.  One "iteration" = one full sweep.
+SolveReport gauss_seidel_solve(const CsrMatrix& a,
+                               const std::vector<double>& b,
+                               std::vector<double>& x,
+                               const SolveOptions& options = {},
+                               double omega = 1.0);
+
+}  // namespace asyrgs

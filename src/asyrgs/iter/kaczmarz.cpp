@@ -1,0 +1,136 @@
+#include "asyrgs/iter/kaczmarz.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyrgs/linalg/vector_ops.hpp"
+#include "asyrgs/sparse/spmv.hpp"
+#include "asyrgs/support/prng.hpp"
+#include "asyrgs/support/timer.hpp"
+
+namespace asyrgs {
+
+SolveReport kaczmarz_solve(const CsrMatrix& a, const std::vector<double>& b,
+                           std::vector<double>& x, const SolveOptions& options,
+                           std::uint64_t seed) {
+  require(static_cast<index_t>(b.size()) == a.rows() &&
+              static_cast<index_t>(x.size()) == a.cols(),
+          "kaczmarz_solve: shape mismatch");
+  const index_t m = a.rows();
+
+  // Row sampling proportional to squared row norms (Strohmer-Vershynin).
+  std::vector<double> cdf(static_cast<std::size_t>(m));
+  double acc = 0.0;
+  for (index_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (double v : a.row_vals(i)) s += v * v;
+    acc += s;
+    cdf[i] = acc;
+  }
+  require(acc > 0.0, "kaczmarz_solve: zero matrix");
+
+  std::vector<double> row_sq(static_cast<std::size_t>(m));
+  row_sq[0] = cdf[0];
+  for (index_t i = 1; i < m; ++i) row_sq[i] = cdf[i] - cdf[i - 1];
+
+  Xoshiro256 rng(seed);
+  WallTimer timer;
+  SolveReport report;
+  const double b_norm = nrm2(b);
+
+  for (int sweep = 1; sweep <= options.max_iterations; ++sweep) {
+    for (index_t t = 0; t < m; ++t) {
+      const double u = uniform_real(rng) * acc;
+      const index_t i = static_cast<index_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      if (row_sq[i] == 0.0) continue;
+      const double gamma = (b[i] - a.row_dot(i, x.data())) / row_sq[i];
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_vals(i);
+      for (std::size_t s = 0; s < cols.size(); ++s)
+        x[cols[s]] += gamma * vals[s];
+    }
+    report.iterations = sweep;
+
+    if (sweep % options.check_every == 0 ||
+        sweep == options.max_iterations) {
+      std::vector<double> r(static_cast<std::size_t>(m));
+      a.multiply(x.data(), r.data());
+      for (index_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+      const double rel = b_norm > 0.0 ? nrm2(r) / b_norm : nrm2(r);
+      report.final_relative_residual = rel;
+      if (options.track_history) report.residual_history.push_back(rel);
+      if (rel <= options.rel_tol) {
+        report.converged = true;
+        break;
+      }
+    }
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+SolveReport cgnr_solve(ThreadPool& pool, const CsrMatrix& a,
+                       const std::vector<double>& b, std::vector<double>& x,
+                       const SolveOptions& options, int workers) {
+  require(static_cast<index_t>(b.size()) == a.rows() &&
+              static_cast<index_t>(x.size()) == a.cols(),
+          "cgnr_solve: shape mismatch");
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  // The serial SpMVs below dominate; `pool`/`workers` are accepted for
+  // interface uniformity and future parallel transposed products.
+  (void)pool;
+  (void)workers;
+
+  WallTimer timer;
+  SolveReport report;
+
+  std::vector<double> r(static_cast<std::size_t>(m));   // b - A x
+  std::vector<double> g(static_cast<std::size_t>(n));   // A^T r
+  std::vector<double> p(static_cast<std::size_t>(n));
+  std::vector<double> ap(static_cast<std::size_t>(m));  // A p
+
+  a.multiply(x.data(), r.data());
+  for (index_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+  a.multiply_transpose(r.data(), g.data());
+
+  std::vector<double> atb(static_cast<std::size_t>(n));
+  a.multiply_transpose(b.data(), atb.data());
+  const double g0_norm = nrm2(atb);
+  if (g0_norm == 0.0) {
+    report.converged = true;
+    report.seconds = timer.seconds();
+    return report;
+  }
+
+  p = g;
+  double gg = dot(g, g);
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    a.multiply(p.data(), ap.data());
+    const double ap_ap = dot(ap, ap);
+    if (ap_ap <= 0.0) break;
+    const double alpha = gg / ap_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    a.multiply_transpose(r.data(), g.data());
+    const double gg_next = dot(g, g);
+    report.iterations = it;
+
+    const double rel = std::sqrt(gg_next) / g0_norm;
+    report.final_relative_residual = rel;
+    if (options.track_history) report.residual_history.push_back(rel);
+    if (rel <= options.rel_tol) {
+      report.converged = true;
+      break;
+    }
+    const double beta = gg_next / gg;
+    gg = gg_next;
+    for (index_t i = 0; i < n; ++i) p[i] = g[i] + beta * p[i];
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace asyrgs

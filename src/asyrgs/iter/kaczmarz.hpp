@@ -1,0 +1,32 @@
+// Randomized Kaczmarz and CGNR baselines for least-squares experiments.
+//
+// Section 8 of the paper extends AsyRGS to overdetermined least squares via
+// randomized coordinate descent on the normal equations; the natural
+// baselines are Strohmer & Vershynin's randomized Kaczmarz [20] (row-action
+// method, solves consistent systems) and CG on the normal equations (CGNR).
+#pragma once
+
+#include <cstdint>
+
+#include "asyrgs/iter/solver_base.hpp"
+#include "asyrgs/sparse/csr.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+/// Randomized Kaczmarz on a consistent system A x = b (A is m x n, m >= n).
+/// Rows are sampled with probability proportional to ||A_i||_2^2.  One
+/// reported iteration = one sweep of m row updates.
+SolveReport kaczmarz_solve(const CsrMatrix& a, const std::vector<double>& b,
+                           std::vector<double>& x,
+                           const SolveOptions& options = {},
+                           std::uint64_t seed = 17);
+
+/// CGNR: CG applied to A^T A x = A^T b without forming A^T A.  Convergence
+/// is declared on the normal-equations residual ||A^T (b - A x)|| relative
+/// to ||A^T b||.
+SolveReport cgnr_solve(ThreadPool& pool, const CsrMatrix& a,
+                       const std::vector<double>& b, std::vector<double>& x,
+                       const SolveOptions& options = {}, int workers = 0);
+
+}  // namespace asyrgs

@@ -1,0 +1,51 @@
+#include "asyrgs/linalg/eigen.hpp"
+
+#include <cmath>
+
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/linalg/lanczos.hpp"
+#include "asyrgs/linalg/vector_ops.hpp"
+#include "asyrgs/sparse/spmv.hpp"
+
+namespace asyrgs {
+
+PowerMethodResult power_method(ThreadPool& pool, const CsrMatrix& a,
+                               int max_iters, double tol, std::uint64_t seed) {
+  require(a.square(), "power_method: matrix must be square");
+  const index_t n = a.rows();
+  PowerMethodResult result;
+
+  std::vector<double> x = random_vector(n, seed);
+  scal(1.0 / nrm2(x), x);
+  std::vector<double> y(static_cast<std::size_t>(n));
+
+  double prev = 0.0;
+  for (int it = 1; it <= max_iters; ++it) {
+    spmv(pool, a, x.data(), y.data());
+    const double rayleigh = dot(x, y);  // x is unit-norm
+    result.iterations = it;
+    result.lambda_max = rayleigh;
+    if (it > 1 &&
+        std::abs(rayleigh - prev) <= tol * std::max(std::abs(rayleigh), 1.0)) {
+      result.converged = true;
+      break;
+    }
+    prev = rayleigh;
+    const double norm = nrm2(y);
+    if (norm == 0.0) break;  // x in the null space; restart not needed for SPD
+    for (index_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+  }
+  return result;
+}
+
+SpectrumEstimate estimate_spectrum(ThreadPool& pool, const CsrMatrix& a,
+                                   int lanczos_steps, std::uint64_t seed) {
+  const LanczosResult lz = lanczos_extreme(pool, a, lanczos_steps, seed);
+  SpectrumEstimate est;
+  est.lambda_min = lz.lambda_min;
+  est.lambda_max = lz.lambda_max;
+  est.condition = lz.lambda_min > 0.0 ? lz.lambda_max / lz.lambda_min : 0.0;
+  return est;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,44 @@
+// High-level spectrum estimation for SPD matrices.
+//
+// Wraps the power method (cheap lambda_max) and Lanczos (both extremes) into
+// the interface the theory module and benchmarks consume.
+#pragma once
+
+#include <cstdint>
+
+#include "asyrgs/sparse/csr.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+/// Power-method estimate of lambda_max(A) for symmetric A.
+struct PowerMethodResult {
+  double lambda_max = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs the power method until the Rayleigh quotient stabilizes to `tol`
+/// relative change or `max_iters` iterations elapse.
+[[nodiscard]] PowerMethodResult power_method(ThreadPool& pool,
+                                             const CsrMatrix& a,
+                                             int max_iters = 200,
+                                             double tol = 1e-9,
+                                             std::uint64_t seed = 11);
+
+/// Combined spectrum estimate for SPD A.
+struct SpectrumEstimate {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  double condition = 0.0;  ///< lambda_max / lambda_min
+};
+
+/// Lanczos-based estimate (lambda_min is an upper bound on the true minimum,
+/// lambda_max a lower bound on the true maximum; with enough steps on a
+/// moderately conditioned matrix both are accurate to ~1e-6 relative).
+[[nodiscard]] SpectrumEstimate estimate_spectrum(ThreadPool& pool,
+                                                 const CsrMatrix& a,
+                                                 int lanczos_steps = 100,
+                                                 std::uint64_t seed = 7);
+
+}  // namespace asyrgs

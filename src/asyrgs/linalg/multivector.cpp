@@ -1,0 +1,64 @@
+#include "asyrgs/linalg/multivector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asyrgs {
+
+std::vector<double> MultiVector::column(index_t c) const {
+  require(c >= 0 && c < k_, "MultiVector::column: index out of range");
+  std::vector<double> v(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i) v[i] = at(i, c);
+  return v;
+}
+
+void MultiVector::set_column(index_t c, const std::vector<double>& v) {
+  require(c >= 0 && c < k_, "MultiVector::set_column: index out of range");
+  require(static_cast<index_t>(v.size()) == n_,
+          "MultiVector::set_column: length mismatch");
+  for (index_t i = 0; i < n_; ++i) at(i, c) = v[i];
+}
+
+std::vector<double> column_norms(const MultiVector& x) {
+  std::vector<double> acc(static_cast<std::size_t>(x.cols()), 0.0);
+  for (index_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row(i);
+    for (index_t c = 0; c < x.cols(); ++c) acc[c] += row[c] * row[c];
+  }
+  for (double& v : acc) v = std::sqrt(v);
+  return acc;
+}
+
+std::vector<double> column_diff_norms(const MultiVector& x,
+                                      const MultiVector& y) {
+  require(x.rows() == y.rows() && x.cols() == y.cols(),
+          "column_diff_norms: shape mismatch");
+  std::vector<double> acc(static_cast<std::size_t>(x.cols()), 0.0);
+  for (index_t i = 0; i < x.rows(); ++i) {
+    const double* xr = x.row(i);
+    const double* yr = y.row(i);
+    for (index_t c = 0; c < x.cols(); ++c) {
+      const double d = xr[c] - yr[c];
+      acc[c] += d * d;
+    }
+  }
+  for (double& v : acc) v = std::sqrt(v);
+  return acc;
+}
+
+double frobenius_norm(const MultiVector& x) {
+  double acc = 0.0;
+  const double* p = x.data();
+  for (std::size_t t = 0; t < x.size(); ++t) acc += p[t] * p[t];
+  return std::sqrt(acc);
+}
+
+void block_axpy(double alpha, const MultiVector& x, MultiVector& y) {
+  require(x.rows() == y.rows() && x.cols() == y.cols(),
+          "block_axpy: shape mismatch");
+  const double* xp = x.data();
+  double* yp = y.data();
+  for (std::size_t t = 0; t < x.size(); ++t) yp[t] += alpha * xp[t];
+}
+
+}  // namespace asyrgs

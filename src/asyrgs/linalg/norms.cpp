@@ -1,0 +1,59 @@
+#include "asyrgs/linalg/norms.hpp"
+
+#include <cmath>
+
+#include "asyrgs/linalg/vector_ops.hpp"
+#include "asyrgs/sparse/spmv.hpp"
+
+namespace asyrgs {
+
+double a_norm(const CsrMatrix& a, const std::vector<double>& x) {
+  require(a.square() && static_cast<index_t>(x.size()) == a.rows(),
+          "a_norm: shape mismatch");
+  std::vector<double> ax(x.size());
+  a.multiply(x.data(), ax.data());
+  const double q = dot(x, ax);
+  // Tiny negative values can appear from rounding when x ~ 0.
+  return std::sqrt(std::max(q, 0.0));
+}
+
+double a_norm_error(const CsrMatrix& a, const std::vector<double>& x,
+                    const std::vector<double>& x_star) {
+  return a_norm(a, subtract(x, x_star));
+}
+
+double residual_norm(const CsrMatrix& a, const std::vector<double>& b,
+                     const std::vector<double>& x) {
+  require(static_cast<index_t>(b.size()) == a.rows() &&
+              static_cast<index_t>(x.size()) == a.cols(),
+          "residual_norm: shape mismatch");
+  std::vector<double> r(b.size());
+  a.multiply(x.data(), r.data());
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  return nrm2(r);
+}
+
+double relative_residual(const CsrMatrix& a, const std::vector<double>& b,
+                         const std::vector<double>& x) {
+  const double bn = nrm2(b);
+  const double rn = residual_norm(a, b, x);
+  return bn > 0.0 ? rn / bn : rn;
+}
+
+double relative_residual_block(ThreadPool& pool, const CsrMatrix& a,
+                               const MultiVector& b, const MultiVector& x) {
+  MultiVector r(b.rows(), b.cols());
+  block_residual(pool, a, b, x, r);
+  const double bn = frobenius_norm(b);
+  const double rn = frobenius_norm(r);
+  return bn > 0.0 ? rn / bn : rn;
+}
+
+double relative_a_norm_error(const CsrMatrix& a, const std::vector<double>& x,
+                             const std::vector<double>& x_star) {
+  const double denom = a_norm(a, x_star);
+  const double num = a_norm_error(a, x, x_star);
+  return denom > 0.0 ? num / denom : num;
+}
+
+}  // namespace asyrgs

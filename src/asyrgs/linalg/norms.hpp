@@ -1,0 +1,49 @@
+// Error and residual norms.
+//
+// The paper measures convergence in two ways:
+//  * the A-norm of the error, ||x - x*||_A = sqrt((x-x*)^T A (x-x*)), which
+//    is the quantity the theory bounds (E_m = E[||x_m - x*||_A^2]);
+//  * the relative residual ||b - A x||_2 / ||b||_2 (and its Frobenius
+//    analogue for 51 simultaneous systems), "as is typically done in
+//    iterative methods" (Section 3).
+#pragma once
+
+#include <vector>
+
+#include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/sparse/csr.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+/// sqrt(x^T A x); A must be SPD for this to be a norm.
+[[nodiscard]] double a_norm(const CsrMatrix& a, const std::vector<double>& x);
+
+/// ||x - x*||_A.
+[[nodiscard]] double a_norm_error(const CsrMatrix& a,
+                                  const std::vector<double>& x,
+                                  const std::vector<double>& x_star);
+
+/// ||b - A x||_2.
+[[nodiscard]] double residual_norm(const CsrMatrix& a,
+                                   const std::vector<double>& b,
+                                   const std::vector<double>& x);
+
+/// ||b - A x||_2 / ||b||_2 (returns the absolute norm when ||b|| == 0).
+[[nodiscard]] double relative_residual(const CsrMatrix& a,
+                                       const std::vector<double>& b,
+                                       const std::vector<double>& x);
+
+/// ||B - A X||_F / ||B||_F over a block of systems (the paper's Figure 1/2
+/// metric for the 51-column system).
+[[nodiscard]] double relative_residual_block(ThreadPool& pool,
+                                             const CsrMatrix& a,
+                                             const MultiVector& b,
+                                             const MultiVector& x);
+
+/// Relative A-norm error ||x - x*||_A / ||x*||_A (Figure 2, right).
+[[nodiscard]] double relative_a_norm_error(const CsrMatrix& a,
+                                           const std::vector<double>& x,
+                                           const std::vector<double>& x_star);
+
+}  // namespace asyrgs

@@ -1,0 +1,89 @@
+#include "asyrgs/linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyrgs/support/aligned.hpp"
+
+namespace asyrgs {
+
+double dot(const double* x, const double* y, index_t n) {
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size(), "dot: length mismatch");
+  return dot(x.data(), y.data(), static_cast<index_t>(x.size()));
+}
+
+double nrm2(const double* x, index_t n) { return std::sqrt(dot(x, x, n)); }
+
+double nrm2(const std::vector<double>& x) {
+  return nrm2(x.data(), static_cast<index_t>(x.size()));
+}
+
+void axpy(double alpha, const double* x, double* y, index_t n) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  require(x.size() == y.size(), "axpy: length mismatch");
+  axpy(alpha, x.data(), y.data(), static_cast<index_t>(x.size()));
+}
+
+void scal(double alpha, double* x, index_t n) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void scal(double alpha, std::vector<double>& x) {
+  scal(alpha, x.data(), static_cast<index_t>(x.size()));
+}
+
+std::vector<double> subtract(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  require(x.size() == y.size(), "subtract: length mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+double max_abs(const std::vector<double>& x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double dot_parallel(ThreadPool& pool, const double* x, const double* y,
+                    index_t n, int workers) {
+  if (workers <= 0) workers = pool.size();
+  if (n < 1 << 14 || workers == 1) return dot(x, y, n);
+  std::vector<Padded<double>> partial(static_cast<std::size_t>(workers));
+  pool.run_team(workers, [&](int id, int team) {
+    const index_t chunk = (n + team - 1) / team;
+    const index_t lo = std::min<index_t>(static_cast<index_t>(id) * chunk, n);
+    const index_t hi = std::min<index_t>(lo + chunk, n);
+    partial[static_cast<std::size_t>(id)].value = dot(x + lo, y + lo, hi - lo);
+  });
+  double acc = 0.0;
+  for (const auto& p : partial) acc += p.value;
+  return acc;
+}
+
+void axpy_parallel(ThreadPool& pool, double alpha, const double* x, double* y,
+                   index_t n, int workers) {
+  if (workers <= 0) workers = pool.size();
+  if (n < 1 << 14 || workers == 1) {
+    axpy(alpha, x, y, n);
+    return;
+  }
+  pool.parallel_for(
+      0, n,
+      [&](index_t lo, index_t hi) {
+        axpy(alpha, x + lo, y + lo, hi - lo);
+      },
+      workers);
+}
+
+}  // namespace asyrgs

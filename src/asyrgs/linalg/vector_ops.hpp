@@ -1,0 +1,48 @@
+// Dense vector kernels (serial + pool-parallel variants).
+//
+// Kernels take raw pointers plus length so they work on vector<double>,
+// MultiVector columns, and solver scratch alike; std::vector overloads are
+// provided for the common case.
+#pragma once
+
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+/// <x, y> (serial).
+[[nodiscard]] double dot(const double* x, const double* y, index_t n);
+[[nodiscard]] double dot(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/// ||x||_2 (serial).
+[[nodiscard]] double nrm2(const double* x, index_t n);
+[[nodiscard]] double nrm2(const std::vector<double>& x);
+
+/// y += alpha x.
+void axpy(double alpha, const double* x, double* y, index_t n);
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// x *= alpha.
+void scal(double alpha, double* x, index_t n);
+void scal(double alpha, std::vector<double>& x);
+
+/// out = x - y.
+[[nodiscard]] std::vector<double> subtract(const std::vector<double>& x,
+                                           const std::vector<double>& y);
+
+/// max_i |x_i|.
+[[nodiscard]] double max_abs(const std::vector<double>& x);
+
+/// Pool-parallel dot product (deterministic: fixed per-worker partial sums
+/// combined in worker order).
+[[nodiscard]] double dot_parallel(ThreadPool& pool, const double* x,
+                                  const double* y, index_t n, int workers = 0);
+
+/// Pool-parallel axpy.
+void axpy_parallel(ThreadPool& pool, double alpha, const double* x, double* y,
+                   index_t n, int workers = 0);
+
+}  // namespace asyrgs

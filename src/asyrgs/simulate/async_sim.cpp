@@ -1,0 +1,184 @@
+#include "asyrgs/simulate/async_sim.hpp"
+
+#include <cmath>
+
+#include "asyrgs/support/prng.hpp"
+
+namespace asyrgs {
+
+namespace {
+
+/// Shared replay state: the current iterate plus a ring buffer of the most
+/// recent updates (enough to reconstruct any state within the tau window).
+class Replay {
+ public:
+  Replay(const CsrMatrix& a, const std::vector<double>& b,
+         const std::vector<double>& x0, const std::vector<double>& x_star,
+         index_t tau, const SimOptions& options)
+      : a_(a), b_(b), x_star_(x_star), x_(x0), options_(options) {
+    require(a.square(), "simulate: matrix must be square");
+    require(static_cast<index_t>(b.size()) == a.rows() &&
+                static_cast<index_t>(x0.size()) == a.rows() &&
+                static_cast<index_t>(x_star.size()) == a.rows(),
+            "simulate: shape mismatch");
+    require(options.step_size > 0.0 && options.step_size < 2.0,
+            "simulate: step size must be in (0, 2)");
+    inv_diag_ = a.diagonal();
+    for (double& d : inv_diag_) {
+      require(d > 0.0, "simulate: diagonal must be strictly positive");
+      d = 1.0 / d;
+    }
+    window_rows_.resize(static_cast<std::size_t>(tau) + 1, 0);
+    window_deltas_.resize(static_cast<std::size_t>(tau) + 1, 0.0);
+  }
+
+  /// Row of A * direction for step j (uniform over rows).
+  [[nodiscard]] index_t direction(std::uint64_t j) const {
+    return Philox4x32(options_.seed).index_at(j, a_.rows());
+  }
+
+  /// b_r - A_r . x_current, computed with the canonical one-subtraction-
+  /// per-nonzero association shared with core/rgs so a zero-delay replay is
+  /// bit-identical to the sequential solver.
+  [[nodiscard]] double residual_now(index_t r) const {
+    double acc = b_[r];
+    const auto cols = a_.row_cols(r);
+    const auto vals = a_.row_vals(r);
+    for (std::size_t t = 0; t < cols.size(); ++t)
+      acc -= vals[t] * x_[cols[t]];
+    return acc;
+  }
+
+  /// Correction term sum over a stale update t: A(r, row_t) * delta_t —
+  /// subtracting it from A_r . x_current "un-applies" update t for this
+  /// read.
+  [[nodiscard]] double unapply(index_t r, std::uint64_t t) const {
+    const std::size_t slot = static_cast<std::size_t>(t % window_rows_.size());
+    const index_t row_t = window_rows_[slot];
+    const double delta_t = window_deltas_[slot];
+    if (delta_t == 0.0) return 0.0;
+    const double arj = a_.at(r, row_t);
+    return arj * delta_t;
+  }
+
+  /// Applies update j: x_{r} += beta * gamma and records it in the window.
+  void apply(std::uint64_t j, index_t r, double gamma) {
+    const double delta = options_.step_size * gamma;
+    x_[static_cast<std::size_t>(r)] += delta;
+    const std::size_t slot = static_cast<std::size_t>(j % window_rows_.size());
+    window_rows_[slot] = r;
+    window_deltas_[slot] = delta;
+  }
+
+  [[nodiscard]] double error_sq() const {
+    // ||x - x*||_A^2 = (x - x*)^T A (x - x*), O(nnz).
+    const index_t n = a_.rows();
+    std::vector<double> e(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) e[i] = x_[i] - x_star_[i];
+    double acc = 0.0;
+    for (index_t i = 0; i < n; ++i) acc += e[i] * a_.row_dot(i, e.data());
+    return std::max(acc, 0.0);
+  }
+
+  void maybe_record(std::uint64_t j, SimResult& result) const {
+    if (options_.record_every != 0 && j % options_.record_every == 0) {
+      result.record_points.push_back(j);
+      result.error_sq_history.push_back(error_sq());
+    }
+  }
+
+  [[nodiscard]] SimResult finish(std::uint64_t iterations) {
+    SimResult result;
+    result.iterations = iterations;
+    result.final_error_sq = error_sq();
+    result.x = std::move(x_);
+    return result;
+  }
+
+  [[nodiscard]] const CsrMatrix& matrix() const { return a_; }
+  [[nodiscard]] double inv_diag_at(index_t r) const { return inv_diag_[r]; }
+
+ private:
+  const CsrMatrix& a_;
+  const std::vector<double>& b_;
+  const std::vector<double>& x_star_;
+  std::vector<double> x_;
+  std::vector<double> inv_diag_;
+  SimOptions options_;
+  std::vector<index_t> window_rows_;
+  std::vector<double> window_deltas_;
+};
+
+}  // namespace
+
+SimResult simulate_consistent(const CsrMatrix& a, const std::vector<double>& b,
+                              const std::vector<double>& x0,
+                              const std::vector<double>& x_star,
+                              const ConsistentDelayModel& delay,
+                              const SimOptions& options) {
+  Replay replay(a, b, x0, x_star, delay.tau(), options);
+  SimResult result;
+
+  for (std::uint64_t j = 0; j < options.iterations; ++j) {
+    replay.maybe_record(j, result);
+    const index_t r = replay.direction(j);
+
+    // Verify the schedule respects Assumption A-3 before trusting it.
+    const std::uint64_t k = delay.snapshot(j);
+    require(k <= j, "simulate_consistent: schedule returned k(j) > j");
+    require(j - k <= static_cast<std::uint64_t>(delay.tau()),
+            "simulate_consistent: schedule violated its tau bound");
+
+    // b_r - A_r . x_{k(j)} = (b_r - A_r . x_j) + contributions of the
+    // updates in [k, j) that the stale snapshot has not seen.
+    double resid = replay.residual_now(r);
+    for (std::uint64_t t = k; t < j; ++t) resid += replay.unapply(r, t);
+
+    const double gamma = resid * replay.inv_diag_at(r);
+    replay.apply(j, r, gamma);
+  }
+  SimResult finished = replay.finish(options.iterations);
+  finished.record_points = std::move(result.record_points);
+  finished.error_sq_history = std::move(result.error_sq_history);
+  return finished;
+}
+
+SimResult simulate_inconsistent(const CsrMatrix& a,
+                                const std::vector<double>& b,
+                                const std::vector<double>& x0,
+                                const std::vector<double>& x_star,
+                                const InconsistentDelayModel& delay,
+                                const SimOptions& options) {
+  Replay replay(a, b, x0, x_star, delay.tau(), options);
+  SimResult result;
+  const std::uint64_t tau = static_cast<std::uint64_t>(delay.tau());
+  std::vector<std::uint64_t> excluded;
+
+  for (std::uint64_t j = 0; j < options.iterations; ++j) {
+    replay.maybe_record(j, result);
+    const index_t r = replay.direction(j);
+
+    // x_{K(j)} differs from x_j only on updates in the tau window that the
+    // schedule excludes (everything older is always included, Assumption
+    // A-3 for the inconsistent model).
+    const std::uint64_t window_start = j > tau ? j - tau : 0;
+    excluded.clear();
+    delay.excluded_in_window(j, window_start, excluded);
+    double resid = replay.residual_now(r);
+    for (std::uint64_t t : excluded) {
+      require(t >= window_start && t < j,
+              "simulate_inconsistent: schedule excluded an update outside "
+              "its declared tau window");
+      resid += replay.unapply(r, t);
+    }
+
+    const double gamma = resid * replay.inv_diag_at(r);
+    replay.apply(j, r, gamma);
+  }
+  SimResult finished = replay.finish(options.iterations);
+  finished.record_points = std::move(result.record_points);
+  finished.error_sq_history = std::move(result.error_sq_history);
+  return finished;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,67 @@
+// Sequential simulator of the asynchronous governing iterations.
+//
+// A real shared-memory run cannot *enforce* the paper's analysis model: the
+// snapshot index k(j) / visible set K(j) are produced by the hardware, not
+// chosen, and Assumption A-2 (consistent read) cannot be guaranteed without
+// expensive provisions.  This simulator replays iterations (8) and (9)
+// exactly:
+//
+//   consistent:    gamma_j = (b_{r_j} - A_{r_j} x_{k(j)}) / A_{r_j r_j}
+//   inconsistent:  gamma_j = (b_{r_j} - A_{r_j} x_{K(j)}) / A_{r_j r_j}
+//   both:          x_{j+1} = x_j + beta * gamma_j * e_{r_j}
+//
+// with delay schedules from delay_models.hpp.  Stale states are
+// reconstructed from a ring buffer of the last tau updates — x_{k(j)} is
+// x_j minus the updates in (k(j), j), each touching a single coordinate —
+// so a step costs O(nnz(row) + tau log nnz(row)).
+//
+// The simulator records ||x_j - x*||_A^2, the quantity whose expectation
+// E_m the theorems bound; tests and the tau-ablation bench average it over
+// direction seeds and compare against theory/bounds.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asyrgs/simulate/delay_models.hpp"
+#include "asyrgs/sparse/csr.hpp"
+
+namespace asyrgs {
+
+/// Simulation parameters.
+struct SimOptions {
+  std::uint64_t iterations = 0;  ///< total coordinate updates to replay
+  double step_size = 1.0;        ///< beta
+  std::uint64_t seed = 1;        ///< direction stream key (Philox)
+  /// Record the squared A-norm error every `record_every` iterations
+  /// (0 = record only the final state).  Recording costs O(nnz).
+  std::uint64_t record_every = 0;
+};
+
+/// Simulation outcome.
+struct SimResult {
+  double final_error_sq = 0.0;  ///< ||x_m - x*||_A^2
+  std::uint64_t iterations = 0;
+  std::vector<std::uint64_t> record_points;  ///< iteration indices recorded
+  std::vector<double> error_sq_history;      ///< matching ||x_j - x*||_A^2
+  std::vector<double> x;                     ///< final iterate
+};
+
+/// Replays the consistent-read iteration (8).  `a` must be square with a
+/// strictly positive diagonal; the theorem-validation tests feed it
+/// unit-diagonal (scaled) matrices as the theory assumes.
+SimResult simulate_consistent(const CsrMatrix& a, const std::vector<double>& b,
+                              const std::vector<double>& x0,
+                              const std::vector<double>& x_star,
+                              const ConsistentDelayModel& delay,
+                              const SimOptions& options);
+
+/// Replays the inconsistent-read iteration (9).
+SimResult simulate_inconsistent(const CsrMatrix& a,
+                                const std::vector<double>& b,
+                                const std::vector<double>& x0,
+                                const std::vector<double>& x_star,
+                                const InconsistentDelayModel& delay,
+                                const SimOptions& options);
+
+}  // namespace asyrgs

@@ -1,0 +1,4 @@
+#include "asyrgs/simulate/delay_models.hpp"
+
+// Schedules are header-only; this translation unit pins the header into the
+// library build.

@@ -1,0 +1,217 @@
+// Programmable delay schedules for the bounded-delay execution models.
+//
+// The paper analyzes two abstractions of asynchronous execution (Section 4):
+//
+//  * Consistent read (iteration (8)): step j computes its update from the
+//    full snapshot x_{k(j)} with j - tau <= k(j) <= j (Assumptions A-2/A-3).
+//  * Inconsistent read (iteration (9)): step j sees x_0 plus an arbitrary
+//    *subset* K(j) of earlier updates that contains everything older than
+//    tau (Assumption A-3'); the mixture it reads may never have existed in
+//    memory.
+//
+// Assumption A-4 requires the delays to be independent of the random
+// direction choices; the randomized schedules below therefore draw from a
+// Philox stream keyed separately from the direction stream.
+//
+// A real parallel run cannot enforce any of this; the simulator
+// (async_sim.hpp) replays the governing iterations exactly, with the
+// schedule supplied by one of these models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+#include "asyrgs/support/prng.hpp"
+
+namespace asyrgs {
+
+/// k(j) schedule for the consistent-read model.
+class ConsistentDelayModel {
+ public:
+  virtual ~ConsistentDelayModel() = default;
+
+  /// Returns k(j): the snapshot index read by iteration j.  Must satisfy
+  /// max(0, j - tau()) <= k(j) <= j.
+  [[nodiscard]] virtual std::uint64_t snapshot(std::uint64_t j) const = 0;
+
+  /// The bound tau of Assumption A-3.
+  [[nodiscard]] virtual index_t tau() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Membership schedule for the inconsistent-read model: iteration j sees
+/// update t < j iff includes(j, t).  Updates older than tau are always seen.
+class InconsistentDelayModel {
+ public:
+  virtual ~InconsistentDelayModel() = default;
+
+  /// Whether update t (with j - tau <= t < j) is visible to iteration j.
+  [[nodiscard]] virtual bool includes(std::uint64_t j,
+                                      std::uint64_t t) const = 0;
+
+  [[nodiscard]] virtual index_t tau() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Appends the indices in [window_start, j) invisible to iteration j.
+  /// The default scans includes(); schedules that precompute their
+  /// exclusion sets (e.g. the event-driven model) override this so a replay
+  /// step costs O(|excluded|) instead of O(tau).
+  virtual void excluded_in_window(std::uint64_t j, std::uint64_t window_start,
+                                  std::vector<std::uint64_t>& out) const {
+    for (std::uint64_t t = window_start; t < j; ++t)
+      if (!includes(j, t)) out.push_back(t);
+  }
+};
+
+// --- Consistent-read schedules ---------------------------------------------
+
+/// k(j) = j: fully synchronous execution (the randomized Gauss-Seidel of
+/// Section 3); the simulator must then reproduce the sequential solver.
+class ZeroDelay final : public ConsistentDelayModel {
+ public:
+  [[nodiscard]] std::uint64_t snapshot(std::uint64_t j) const override {
+    return j;
+  }
+  [[nodiscard]] index_t tau() const override { return 0; }
+  [[nodiscard]] std::string name() const override { return "zero"; }
+};
+
+/// k(j) = max(0, j - tau): every read is maximally stale — the adversarial
+/// schedule the Theorem 2 proof actually charges for.
+class FixedDelay final : public ConsistentDelayModel {
+ public:
+  explicit FixedDelay(index_t tau) : tau_(tau) {
+    require(tau >= 0, "FixedDelay: tau must be non-negative");
+  }
+  [[nodiscard]] std::uint64_t snapshot(std::uint64_t j) const override {
+    return j >= static_cast<std::uint64_t>(tau_)
+               ? j - static_cast<std::uint64_t>(tau_)
+               : 0;
+  }
+  [[nodiscard]] index_t tau() const override { return tau_; }
+  [[nodiscard]] std::string name() const override {
+    return "fixed(" + std::to_string(tau_) + ")";
+  }
+
+ private:
+  index_t tau_;
+};
+
+/// k(j) = j - U{0..tau}: random staleness, independent of the direction
+/// stream (separate Philox key), honouring Assumption A-4.
+class UniformDelay final : public ConsistentDelayModel {
+ public:
+  UniformDelay(index_t tau, std::uint64_t seed)
+      : tau_(tau), prng_(splitmix64(seed ^ 0xDE1A7ull)) {
+    require(tau >= 0, "UniformDelay: tau must be non-negative");
+  }
+  [[nodiscard]] std::uint64_t snapshot(std::uint64_t j) const override {
+    const std::uint64_t lag =
+        static_cast<std::uint64_t>(prng_.index_at(j, tau_ + 1));
+    return j >= lag ? j - lag : 0;
+  }
+  [[nodiscard]] index_t tau() const override { return tau_; }
+  [[nodiscard]] std::string name() const override {
+    return "uniform(" + std::to_string(tau_) + ")";
+  }
+
+ private:
+  index_t tau_;
+  Philox4x32 prng_;
+};
+
+/// Emulates P processors advancing in lockstep batches: all iterations in
+/// batch m = floor(j / P) read the snapshot taken at the batch start, i.e.
+/// k(j) = floor(j / P) * P.  tau = P - 1.
+class BatchDelay final : public ConsistentDelayModel {
+ public:
+  explicit BatchDelay(index_t processors) : p_(processors) {
+    require(processors >= 1, "BatchDelay: need at least one processor");
+  }
+  [[nodiscard]] std::uint64_t snapshot(std::uint64_t j) const override {
+    return (j / static_cast<std::uint64_t>(p_)) *
+           static_cast<std::uint64_t>(p_);
+  }
+  [[nodiscard]] index_t tau() const override { return p_ - 1; }
+  [[nodiscard]] std::string name() const override {
+    return "batch(P=" + std::to_string(p_) + ")";
+  }
+
+ private:
+  index_t p_;
+};
+
+// --- Inconsistent-read schedules --------------------------------------------
+
+/// Adapts a consistent schedule: K(j) = {0, ..., k(j)-1} — a prefix, which
+/// makes the inconsistent iteration coincide with the consistent one.
+class PrefixInclusion final : public InconsistentDelayModel {
+ public:
+  explicit PrefixInclusion(std::shared_ptr<ConsistentDelayModel> inner)
+      : inner_(std::move(inner)) {
+    require(inner_ != nullptr, "PrefixInclusion: null inner model");
+  }
+  [[nodiscard]] bool includes(std::uint64_t j, std::uint64_t t) const override {
+    return t < inner_->snapshot(j);
+  }
+  [[nodiscard]] index_t tau() const override { return inner_->tau(); }
+  [[nodiscard]] std::string name() const override {
+    return "prefix(" + inner_->name() + ")";
+  }
+
+ private:
+  std::shared_ptr<ConsistentDelayModel> inner_;
+};
+
+/// Each update within the tau window is visible with probability p,
+/// independently (Philox-keyed by (j, t), independent of directions).
+/// Genuinely inconsistent: the visible set is not a prefix.
+class BernoulliInclusion final : public InconsistentDelayModel {
+ public:
+  BernoulliInclusion(index_t tau, double p, std::uint64_t seed)
+      : tau_(tau), p_(p), prng_(splitmix64(seed ^ 0xB3A70ull)) {
+    require(tau >= 0, "BernoulliInclusion: tau must be non-negative");
+    require(p >= 0.0 && p <= 1.0, "BernoulliInclusion: p must be in [0,1]");
+  }
+  [[nodiscard]] bool includes(std::uint64_t j, std::uint64_t t) const override {
+    // Key the draw by the (j, t) pair: mix t into the high counter word.
+    const auto block = prng_.block(t, j);
+    const double u = static_cast<double>(block[0]) * 0x1.0p-32;
+    return u < p_;
+  }
+  [[nodiscard]] index_t tau() const override { return tau_; }
+  [[nodiscard]] std::string name() const override {
+    return "bernoulli(tau=" + std::to_string(tau_) + ")";
+  }
+
+ private:
+  index_t tau_;
+  double p_;
+  Philox4x32 prng_;
+};
+
+/// Worst-case inconsistent schedule: nothing inside the tau window is ever
+/// visible (K(j) = {0, ..., j - tau - 1}).
+class WindowExclusion final : public InconsistentDelayModel {
+ public:
+  explicit WindowExclusion(index_t tau) : tau_(tau) {
+    require(tau >= 0, "WindowExclusion: tau must be non-negative");
+  }
+  [[nodiscard]] bool includes(std::uint64_t, std::uint64_t) const override {
+    return false;  // the simulator only asks about the tau window
+  }
+  [[nodiscard]] index_t tau() const override { return tau_; }
+  [[nodiscard]] std::string name() const override {
+    return "window-excl(" + std::to_string(tau_) + ")";
+  }
+
+ private:
+  index_t tau_;
+};
+
+}  // namespace asyrgs

@@ -1,0 +1,87 @@
+// Event-driven multiprocessor execution model.
+//
+// The paper's conclusion flags a gap: its analysis uses the *maximum* delay
+// tau, which "can be rather large in some setups (e.g., high ratio between
+// maximum and minimum amount of non-zeros per row)", and suggests that "a
+// probabilistic modeling of the delays might lead to a convergence result
+// that will be more descriptive for matrices with imbalanced row sizes".
+//
+// This module supplies the measurement instrument for that program: a
+// discrete-event simulation of P virtual processors executing the
+// randomized Gauss-Seidel stream, where the duration of update j is
+// proportional to nnz(row_j) (plus fixed overhead and optional jitter).
+// The simulation yields, exactly:
+//
+//  * the visibility structure K(j) of the paper's inconsistent-read model
+//    (an update is visible once its finish time precedes the reader's start
+//    time) — at most P-1 updates are ever invisible, but their *index age*
+//    grows with row-size skew;
+//  * the realized delay distribution (mean / max tau-hat), quantifying how
+//    pessimistic the worst-case tau is for a given matrix;
+//  * an InconsistentDelayModel the replay simulator can execute, so the
+//    error decay under the realistic schedule can be measured directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asyrgs/simulate/delay_models.hpp"
+#include "asyrgs/sparse/csr.hpp"
+
+namespace asyrgs {
+
+/// Parameters of the virtual machine.
+struct EventSimOptions {
+  int processors = 8;
+  std::uint64_t iterations = 0;  ///< total updates to schedule
+  std::uint64_t seed = 1;        ///< direction stream (must match the replay)
+  /// Fixed per-update cost added to nnz(row) (models loop/RNG overhead).
+  double overhead = 4.0;
+  /// Multiplicative duration jitter: each update's cost is scaled by a
+  /// uniform factor in [1-jitter, 1+jitter] (OS noise, cache effects).
+  double jitter = 0.1;
+  std::uint64_t jitter_seed = 99;
+};
+
+/// Realized delay statistics of a schedule.
+struct DelayStats {
+  index_t max_delay = 0;      ///< tau-hat: max index age of an invisible update
+  double mean_delay = 0.0;    ///< mean index age over all invisible pairs
+  double mean_inflight = 0.0; ///< average # of concurrently executing updates
+};
+
+/// The visibility schedule produced by the event-driven execution; usable
+/// directly as the delay model of simulate_inconsistent().
+class EventDrivenSchedule final : public InconsistentDelayModel {
+ public:
+  /// Runs the discrete-event simulation for `opt.iterations` updates of the
+  /// randomized stream on `a` (directions drawn from Philox(opt.seed), the
+  /// same stream the replay will consume).
+  static EventDrivenSchedule build(const CsrMatrix& a,
+                                   const EventSimOptions& opt);
+
+  [[nodiscard]] bool includes(std::uint64_t j, std::uint64_t t) const override;
+  [[nodiscard]] index_t tau() const override { return stats_.max_delay; }
+  [[nodiscard]] std::string name() const override;
+  void excluded_in_window(std::uint64_t j, std::uint64_t window_start,
+                          std::vector<std::uint64_t>& out) const override;
+
+  /// Exact exclusion list for iteration j (indices of updates in flight when
+  /// j started); used by the replay fast path.
+  [[nodiscard]] const std::vector<std::uint64_t>& excluded(
+      std::uint64_t j) const {
+    return excluded_[j];
+  }
+
+  [[nodiscard]] const DelayStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] int processors() const noexcept { return processors_; }
+
+ private:
+  EventDrivenSchedule() = default;
+  std::vector<std::vector<std::uint64_t>> excluded_;
+  DelayStats stats_;
+  int processors_ = 0;
+};
+
+}  // namespace asyrgs

@@ -1,0 +1,61 @@
+// High-level one-call interface for solving SPD systems.
+//
+// Wraps the method-selection guidance of the paper into a single entry
+// point:
+//  * low accuracy (the big-data regime of Section 9): plain AsyRGS with
+//    occasional synchronization — basic iterations converge quickly at
+//    first and scale best;
+//  * high accuracy: AsyRGS as a preconditioner inside flexible CG, "most
+//    suitable when only moderate accuracy is sought ... or when we use the
+//    algorithm as a preconditioner in a flexible Krylov method";
+//  * non-unit diagonals are handled transparently (Section 3 rescaling is
+//    built into the coordinate update).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asyrgs/sparse/csr.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+/// Solution strategy.
+enum class SpdMethod {
+  kAuto,      ///< pick by accuracy target (see solve_spd docs)
+  kAsyncRgs,  ///< asynchronous randomized Gauss-Seidel, barrier per sweep
+  kFcgAsyRgs, ///< flexible CG preconditioned by AsyRGS
+  kCg,        ///< plain conjugate gradients (synchronous baseline)
+};
+
+/// Options for solve_spd.
+struct SpdSolveOptions {
+  SpdMethod method = SpdMethod::kAuto;
+  double rel_tol = 1e-8;    ///< target on ||b - Ax|| / ||b||
+  int max_iterations = 0;   ///< sweeps (AsyRGS) / outer iterations; 0 = auto
+  int threads = 0;          ///< 0 = all cores
+  int inner_sweeps = 2;     ///< preconditioner sweeps for kFcgAsyRgs
+  std::uint64_t seed = 1;
+  /// Verify symmetry (costs one transpose) and positive diagonal before
+  /// solving; recommended for user-supplied matrices.
+  bool check_input = true;
+};
+
+/// Outcome of solve_spd.
+struct SpdSolveSummary {
+  SpdMethod method_used = SpdMethod::kAuto;
+  bool converged = false;
+  int iterations = 0;  ///< sweeps or outer iterations, per method
+  double relative_residual = 0.0;
+  double seconds = 0.0;
+  std::string description;  ///< human-readable method summary
+};
+
+/// Solves SPD A x = b starting from `x` (in place).  With kAuto the method
+/// is AsyRGS when rel_tol >= 1e-4 (the low-accuracy regime where basic
+/// iterations shine) and FCG+AsyRGS otherwise.
+SpdSolveSummary solve_spd(ThreadPool& pool, const CsrMatrix& a,
+                          const std::vector<double>& b, std::vector<double>& x,
+                          const SpdSolveOptions& options = {});
+
+}  // namespace asyrgs

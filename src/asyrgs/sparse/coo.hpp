@@ -1,0 +1,48 @@
+// Coordinate-format builder for assembling sparse matrices.
+//
+// Generators and file readers accumulate (i, j, value) triplets here and then
+// convert to the immutable CSR format used by every kernel.  Duplicate
+// entries are summed during conversion (finite-element style assembly).
+#pragma once
+
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+class CsrMatrix;
+
+/// Mutable triplet accumulator.
+class CooBuilder {
+ public:
+  /// Creates a builder for a rows x cols matrix.
+  CooBuilder(index_t rows, index_t cols);
+
+  /// Appends A(i, j) += value.
+  void add(index_t i, index_t j, double value);
+
+  /// Appends A(i, j) += value and, when i != j, A(j, i) += value.  Handy for
+  /// assembling symmetric matrices from their lower triangle.
+  void add_symmetric(index_t i, index_t j, double value);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return is_.size(); }
+
+  /// Reserves space for `n` triplets.
+  void reserve(std::size_t n);
+
+  /// Converts to CSR with sorted column indices; duplicate coordinates are
+  /// summed and exact-zero results are kept (structural nonzeros).
+  [[nodiscard]] CsrMatrix to_csr() const;
+
+ private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<index_t> is_;
+  std::vector<index_t> js_;
+  std::vector<double> vs_;
+};
+
+}  // namespace asyrgs

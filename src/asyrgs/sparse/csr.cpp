@@ -1,0 +1,126 @@
+#include "asyrgs/sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asyrgs {
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> row_ptr,
+                     std::vector<index_t> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  require(rows_ > 0 && cols_ > 0, "CsrMatrix: dimensions must be positive");
+  require(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+          "CsrMatrix: row_ptr must have rows+1 entries");
+  require(row_ptr_.front() == 0, "CsrMatrix: row_ptr must start at 0");
+  require(col_idx_.size() == values_.size(),
+          "CsrMatrix: col_idx/values size mismatch");
+  require(row_ptr_.back() == static_cast<nnz_t>(col_idx_.size()),
+          "CsrMatrix: row_ptr end does not match nnz");
+  for (index_t i = 0; i < rows_; ++i) {
+    require(row_ptr_[i] <= row_ptr_[i + 1],
+            "CsrMatrix: row_ptr must be non-decreasing");
+    for (nnz_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
+      require(col_idx_[t] >= 0 && col_idx_[t] < cols_,
+              "CsrMatrix: column index out of range");
+      if (t > row_ptr_[i])
+        require(col_idx_[t - 1] < col_idx_[t],
+                "CsrMatrix: columns must be strictly increasing in each row");
+    }
+  }
+}
+
+double CsrMatrix::at(index_t i, index_t j) const {
+  require(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+          "CsrMatrix::at: index out of range");
+  const auto cols = row_cols(i);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  return values_[row_ptr_[i] + (it - cols.begin())];
+}
+
+double CsrMatrix::row_dot(index_t i, const double* x) const noexcept {
+  double acc = 0.0;
+  const nnz_t lo = row_ptr_[i];
+  const nnz_t hi = row_ptr_[i + 1];
+  for (nnz_t t = lo; t < hi; ++t) acc += values_[t] * x[col_idx_[t]];
+  return acc;
+}
+
+void CsrMatrix::multiply(const double* x, double* y) const {
+  for (index_t i = 0; i < rows_; ++i) y[i] = row_dot(i, x);
+}
+
+void CsrMatrix::multiply_transpose(const double* x, double* y) const {
+  std::fill(y, y + cols_, 0.0);
+  for (index_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (nnz_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t)
+      y[col_idx_[t]] += values_[t] * xi;
+  }
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  require(square(), "CsrMatrix::diagonal: matrix must be square");
+  std::vector<double> d(static_cast<std::size_t>(rows_), 0.0);
+  for (index_t i = 0; i < rows_; ++i) d[i] = at(i, i);
+  return d;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<nnz_t> t_row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (index_t c : col_idx_) t_row_ptr[c + 1]++;
+  for (index_t j = 0; j < cols_; ++j) t_row_ptr[j + 1] += t_row_ptr[j];
+
+  std::vector<index_t> t_col(col_idx_.size());
+  std::vector<double> t_val(values_.size());
+  std::vector<nnz_t> cursor(t_row_ptr.begin(), t_row_ptr.end() - 1);
+  // Walking rows in order writes each transposed row's entries in increasing
+  // original-row order, so column indices stay sorted.
+  for (index_t i = 0; i < rows_; ++i) {
+    for (nnz_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
+      const nnz_t slot = cursor[col_idx_[t]]++;
+      t_col[slot] = i;
+      t_val[slot] = values_[t];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col),
+                   std::move(t_val));
+}
+
+ColumnCompression drop_empty_columns(const CsrMatrix& a) {
+  std::vector<char> used(static_cast<std::size_t>(a.cols()), 0);
+  for (index_t c : a.col_idx()) used[static_cast<std::size_t>(c)] = 1;
+
+  ColumnCompression out;
+  std::vector<index_t> new_index(static_cast<std::size_t>(a.cols()), -1);
+  for (index_t c = 0; c < a.cols(); ++c) {
+    if (used[static_cast<std::size_t>(c)]) {
+      new_index[static_cast<std::size_t>(c)] =
+          static_cast<index_t>(out.kept_columns.size());
+      out.kept_columns.push_back(c);
+    }
+  }
+  require(!out.kept_columns.empty(), "drop_empty_columns: matrix is all zero");
+
+  std::vector<index_t> col_idx(a.col_idx());
+  for (index_t& c : col_idx) c = new_index[static_cast<std::size_t>(c)];
+  out.matrix =
+      CsrMatrix(a.rows(), static_cast<index_t>(out.kept_columns.size()),
+                a.row_ptr(), std::move(col_idx), a.values());
+  return out;
+}
+
+bool CsrMatrix::equals(const CsrMatrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  if (row_ptr_ != other.row_ptr_ || col_idx_ != other.col_idx_) return false;
+  for (std::size_t t = 0; t < values_.size(); ++t)
+    if (std::abs(values_[t] - other.values_[t]) > tol) return false;
+  return true;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,102 @@
+// Immutable compressed-sparse-row matrix.
+//
+// This is the single matrix representation used by all solvers.  Column
+// indices within each row are sorted, which the randomized solvers rely on
+// for cache-friendly row scans and O(log nnz(row)) entry lookup.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Sparse rows x cols matrix in CSR format with sorted column indices.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Takes ownership of pre-built CSR arrays.  Validates monotone row
+  /// pointers, in-range sorted column indices, and array sizes; throws
+  /// asyrgs::Error on malformed input.
+  CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<double> values);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] nnz_t nnz() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  /// Row i as spans over (column indices, values).
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const noexcept {
+    return {col_idx_.data() + row_ptr_[i],
+            static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+  [[nodiscard]] std::span<const double> row_vals(index_t i) const noexcept {
+    return {values_.data() + row_ptr_[i],
+            static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+  [[nodiscard]] nnz_t row_nnz(index_t i) const noexcept {
+    return row_ptr_[i + 1] - row_ptr_[i];
+  }
+
+  [[nodiscard]] const std::vector<nnz_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<index_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// A(i, j), zero when the entry is not stored (binary search over the
+  /// sorted row).
+  [[nodiscard]] double at(index_t i, index_t j) const;
+
+  /// Dot product of row i with dense vector x (serial building block of both
+  /// SpMV and the Gauss-Seidel update gamma = b_r - A_r x).
+  [[nodiscard]] double row_dot(index_t i, const double* x) const noexcept;
+
+  /// y = A x (serial reference implementation; see sparse/spmv.hpp for the
+  /// parallel kernels).
+  void multiply(const double* x, double* y) const;
+
+  /// y = A^T x (serial; y must have cols() entries).
+  void multiply_transpose(const double* x, double* y) const;
+
+  /// Main diagonal as a dense vector (zeros for missing entries; requires a
+  /// square matrix).
+  [[nodiscard]] std::vector<double> diagonal() const;
+
+  /// Explicit transpose (used to give the least-squares solver column access
+  /// to A via CSR rows of A^T).
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Deep equality of dimensions, structure, and values.
+  [[nodiscard]] bool equals(const CsrMatrix& other, double tol = 0.0) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<nnz_t> row_ptr_;   // size rows_ + 1
+  std::vector<index_t> col_idx_; // size nnz
+  std::vector<double> values_;   // size nnz
+};
+
+/// Result of removing structurally empty columns.
+struct ColumnCompression {
+  CsrMatrix matrix;                  ///< same rows, empty columns removed
+  std::vector<index_t> kept_columns; ///< new column c was old kept_columns[c]
+};
+
+/// Removes columns with no stored entries.  The paper preprocesses its data
+/// matrix the same way ("after removing rows and columns that were
+/// identically zero"); required by the least-squares solvers, which assume
+/// full column rank.
+[[nodiscard]] ColumnCompression drop_empty_columns(const CsrMatrix& a);
+
+}  // namespace asyrgs

@@ -1,0 +1,97 @@
+#include "asyrgs/sparse/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace asyrgs {
+
+RowNnzStats row_nnz_stats(const CsrMatrix& a) {
+  RowNnzStats s;
+  s.min = std::numeric_limits<nnz_t>::max();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const nnz_t c = a.row_nnz(i);
+    s.min = std::min(s.min, c);
+    s.max = std::max(s.max, c);
+  }
+  s.mean = static_cast<double>(a.nnz()) / static_cast<double>(a.rows());
+  s.ratio = static_cast<double>(s.max) /
+            static_cast<double>(std::max<nnz_t>(s.min, 1));
+  return s;
+}
+
+double inf_norm(const CsrMatrix& a) {
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double row_sum = 0.0;
+    for (double v : a.row_vals(i)) row_sum += std::abs(v);
+    best = std::max(best, row_sum);
+  }
+  return best;
+}
+
+double frobenius_norm(const CsrMatrix& a) {
+  double acc = 0.0;
+  for (double v : a.values()) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double rho(const CsrMatrix& a) {
+  require(a.square(), "rho: matrix must be square");
+  return inf_norm(a) / static_cast<double>(a.rows());
+}
+
+double rho2(const CsrMatrix& a) {
+  require(a.square(), "rho2: matrix must be square");
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double row_sum = 0.0;
+    for (double v : a.row_vals(i)) row_sum += v * v;
+    best = std::max(best, row_sum);
+  }
+  return best / static_cast<double>(a.rows());
+}
+
+bool is_symmetric(const CsrMatrix& a, double tol) {
+  if (!a.square()) return false;
+  const CsrMatrix at = a.transpose();
+  return a.equals(at, tol);
+}
+
+bool is_strictly_diagonally_dominant(const CsrMatrix& a) {
+  if (!a.square()) return false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double diag = 0.0, off = 0.0;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      if (cols[t] == i)
+        diag = std::abs(vals[t]);
+      else
+        off += std::abs(vals[t]);
+    }
+    if (!(diag > off)) return false;
+  }
+  return true;
+}
+
+bool is_weakly_diagonally_dominant(const CsrMatrix& a) {
+  if (!a.square()) return false;
+  bool some_strict = false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double diag = 0.0, off = 0.0;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      if (cols[t] == i)
+        diag = std::abs(vals[t]);
+      else
+        off += std::abs(vals[t]);
+    }
+    if (diag < off) return false;
+    if (diag > off) some_strict = true;
+  }
+  return some_strict;
+}
+
+}  // namespace asyrgs

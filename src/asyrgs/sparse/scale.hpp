@@ -1,0 +1,53 @@
+// Symmetric diagonal (Jacobi) scaling to a unit-diagonal system.
+//
+// The paper's analysis assumes A has a unit diagonal, and Section 3
+// ("Non-Unit Diagonal") shows this loses no generality: given B y = z with
+// SPD B, let D = diag(B)^{-1/2}; then A = D B D has unit diagonal, the
+// scaled system is A x = D z, and the iterates correspond exactly via
+// y_j = D x_j with ||x_j - x*||_A = ||y_j - y*||_B.  This module implements
+// that transformation and its inverse.
+#pragma once
+
+#include <vector>
+
+#include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/sparse/csr.hpp"
+
+namespace asyrgs {
+
+/// The D = diag(B)^{-1/2} scaling of one SPD matrix, with helpers to move
+/// right-hand sides and solutions between the original and scaled systems.
+class UnitDiagonalScaling {
+ public:
+  /// Computes D from B; requires a square matrix with strictly positive
+  /// diagonal (a necessary condition for SPD).
+  explicit UnitDiagonalScaling(const CsrMatrix& b);
+
+  /// A = D B D (unit diagonal up to rounding).
+  [[nodiscard]] CsrMatrix scale_matrix(const CsrMatrix& b) const;
+
+  /// Scaled right-hand side D z.
+  [[nodiscard]] std::vector<double> scale_rhs(const std::vector<double>& z) const;
+  [[nodiscard]] MultiVector scale_rhs(const MultiVector& z) const;
+
+  /// Recovers the original-system solution y = D x from the scaled iterate.
+  [[nodiscard]] std::vector<double> unscale_solution(
+      const std::vector<double>& x) const;
+  [[nodiscard]] MultiVector unscale_solution(const MultiVector& x) const;
+
+  /// Maps an original-system initial guess y into the scaled system,
+  /// x = D^{-1} y.
+  [[nodiscard]] std::vector<double> scale_solution(
+      const std::vector<double>& y) const;
+
+  /// The diagonal of D.
+  [[nodiscard]] const std::vector<double>& d() const noexcept { return d_; }
+
+ private:
+  std::vector<double> d_;  // D_ii = 1 / sqrt(B_ii)
+};
+
+/// True when every diagonal entry of A equals 1 within `tol`.
+[[nodiscard]] bool has_unit_diagonal(const CsrMatrix& a, double tol = 1e-12);
+
+}  // namespace asyrgs

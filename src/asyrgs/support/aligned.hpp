@@ -1,0 +1,58 @@
+// Cache-line aligned storage helpers.
+//
+// Shared per-worker counters in the asynchronous solver are padded to a cache
+// line to avoid false sharing; large numeric arrays are aligned for vector
+// loads.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Minimal aligned allocator (C++17 aligned operator new) for std::vector.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  /// Explicit rebind: allocator_traits cannot synthesize it because of the
+  /// non-type Alignment parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with cache-line-aligned storage.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// A T padded to a full cache line; used for per-worker mutable slots in
+/// arrays shared across threads.
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+};
+
+}  // namespace asyrgs

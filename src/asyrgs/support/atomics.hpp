@@ -1,0 +1,56 @@
+// Atomic operations on shared double-precision iterate entries.
+//
+// Assumption A-1 of the paper (Atomic Write) requires the single-coordinate
+// update "(x)_r <- (x)_r + beta*gamma" to be atomic.  The paper notes that
+// such updates "have hardware support on many modern processors (e.g.
+// compare-and-exchange)".  We implement exactly that: a CAS loop over
+// std::atomic_ref<double>.
+//
+// The experimental section also evaluates a *non-atomic* variant (Figure 2,
+// center/right) to test whether atomicity matters in practice.  To keep that
+// variant free of undefined behaviour while still permitting lost updates, it
+// performs a relaxed atomic load, a plain add, and a relaxed atomic store —
+// i.e. a racy read-modify-write whose interleaving semantics match an
+// ordinary non-atomic "+=" on hardware, without the UB.
+#pragma once
+
+#include <atomic>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Atomically reads x[i]-style shared entries.  Relaxed ordering is
+/// sufficient: the convergence theory only needs each read to observe *some*
+/// atomic write (Assumptions A-1/A-3), not any particular ordering.
+[[nodiscard]] inline double atomic_load_relaxed(const double& slot) noexcept {
+  return std::atomic_ref<const double>(slot).load(std::memory_order_relaxed);
+}
+
+/// Atomically writes a shared entry (relaxed ordering).
+inline void atomic_store_relaxed(double& slot, double value) noexcept {
+  std::atomic_ref<double>(slot).store(value, std::memory_order_relaxed);
+}
+
+/// Atomic fetch-add via compare-and-exchange; returns the value *before* the
+/// addition.  This is the paper's Assumption A-1 update primitive.
+inline double atomic_add_relaxed(double& slot, double delta) noexcept {
+  std::atomic_ref<double> ref(slot);
+  double observed = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(observed, observed + delta,
+                                    std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+    // `observed` reloaded by compare_exchange_weak on failure.
+  }
+  return observed;
+}
+
+/// The deliberately racy update used by the "non atomic" variant of AsyRGS
+/// (Figure 2): load and store are individually atomic, but the
+/// read-modify-write is not, so concurrent updates to the same entry may be
+/// lost — the behaviour the paper's non-atomic experiment probes.
+inline void racy_add(double& slot, double delta) noexcept {
+  atomic_store_relaxed(slot, atomic_load_relaxed(slot) + delta);
+}
+
+}  // namespace asyrgs

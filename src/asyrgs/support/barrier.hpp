@@ -1,0 +1,55 @@
+// A reusable spin barrier for the "occasional synchronization" execution
+// scheme (Theorem 2(a) discussion: iterate asynchronously for ~n updates,
+// synchronize, restart).  Synchronization points are rare and the workers
+// are compute-bound, so a sense-reversing spin barrier beats a futex-based
+// std::barrier at the iteration granularity we care about.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Sense-reversing spin barrier for a fixed set of participants.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants)
+      : participants_(participants), waiting_(0), sense_(false) {
+    require(participants > 0, "SpinBarrier: participants must be positive");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants have arrived.  The barrier is immediately
+  /// reusable for the next phase.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) ==
+        participants_ - 1) {
+      // Last arrival flips the phase for everyone.
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      std::uint32_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 4096) {
+          std::this_thread::yield();  // oversubscribed: be polite
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] int participants() const noexcept { return participants_; }
+
+ private:
+  const int participants_;
+  alignas(kCacheLineBytes) std::atomic<int> waiting_;
+  alignas(kCacheLineBytes) std::atomic<bool> sense_;
+};
+
+}  // namespace asyrgs

@@ -1,0 +1,165 @@
+#include "asyrgs/support/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace asyrgs {
+
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) throw Error("empty element in integer list: " + text);
+    long long v = 0;
+    try {
+      std::size_t pos = 0;
+      v = std::stoll(item, &pos);
+      if (pos != item.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      throw Error("malformed integer '" + item + "' in list: " + text);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) throw Error("empty integer list");
+  return out;
+}
+
+namespace {
+std::string join_ints(const std::vector<std::int64_t>& v) {
+  std::string s;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(v[i]);
+  }
+  return s;
+}
+}  // namespace
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::register_entry(const std::string& name, Kind kind,
+                               const std::string& help,
+                               const std::string& default_text, void* slot) {
+  require(!entries_.count(name), "duplicate CLI option");
+  entries_[name] = Entry{kind, help, default_text, slot};
+  order_.push_back(name);
+}
+
+CliParser::Option<std::int64_t> CliParser::add_int(const std::string& name,
+                                                   std::int64_t def,
+                                                   const std::string& help) {
+  ints_.push_back(def);
+  register_entry(name, Kind::kInt, help, std::to_string(def), &ints_.back());
+  return Option<std::int64_t>(&ints_.back());
+}
+
+CliParser::Option<double> CliParser::add_double(const std::string& name,
+                                                double def,
+                                                const std::string& help) {
+  doubles_.push_back(def);
+  std::ostringstream os;
+  os << def;
+  register_entry(name, Kind::kDouble, help, os.str(), &doubles_.back());
+  return Option<double>(&doubles_.back());
+}
+
+CliParser::Option<std::string> CliParser::add_string(const std::string& name,
+                                                     std::string def,
+                                                     const std::string& help) {
+  strings_.push_back(std::move(def));
+  register_entry(name, Kind::kString, help, strings_.back(), &strings_.back());
+  return Option<std::string>(&strings_.back());
+}
+
+CliParser::Option<bool> CliParser::add_flag(const std::string& name,
+                                            const std::string& help) {
+  flags_.push_back(false);
+  register_entry(name, Kind::kFlag, help, "false", &flags_.back());
+  return Option<bool>(&flags_.back());
+}
+
+CliParser::Option<std::vector<std::int64_t>> CliParser::add_int_list(
+    const std::string& name, std::vector<std::int64_t> def,
+    const std::string& help) {
+  int_lists_.push_back(std::move(def));
+  register_entry(name, Kind::kIntList, help, join_ints(int_lists_.back()),
+                 &int_lists_.back());
+  return Option<std::vector<std::int64_t>>(&int_lists_.back());
+}
+
+void CliParser::set_value(const std::string& name, const std::string& text) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) throw Error("unknown option --" + name);
+  Entry& e = it->second;
+  try {
+    switch (e.kind) {
+      case Kind::kInt: {
+        std::size_t pos = 0;
+        *static_cast<std::int64_t*>(e.slot) = std::stoll(text, &pos);
+        if (pos != text.size()) throw Error("trailing characters");
+        break;
+      }
+      case Kind::kDouble: {
+        std::size_t pos = 0;
+        *static_cast<double*>(e.slot) = std::stod(text, &pos);
+        if (pos != text.size()) throw Error("trailing characters");
+        break;
+      }
+      case Kind::kString:
+        *static_cast<std::string*>(e.slot) = text;
+        break;
+      case Kind::kFlag:
+        *static_cast<bool*>(e.slot) =
+            (text == "1" || text == "true" || text == "yes");
+        break;
+      case Kind::kIntList:
+        *static_cast<std::vector<std::int64_t>*>(e.slot) =
+            parse_int_list(text);
+        break;
+    }
+  } catch (const std::exception&) {
+    throw Error("bad value '" + text + "' for option --" + name);
+  }
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(std::cout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw Error("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_value(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = entries_.find(arg);
+    if (it == entries_.end()) throw Error("unknown option --" + arg);
+    if (it->second.kind == Kind::kFlag) {
+      *static_cast<bool*>(it->second.slot) = true;
+      continue;
+    }
+    if (i + 1 >= argc) throw Error("missing value for option --" + arg);
+    set_value(arg, argv[++i]);
+  }
+}
+
+void CliParser::print_help(std::ostream& out) const {
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    out << "  --" << name;
+    if (e.kind != Kind::kFlag) out << " <value>";
+    out << "\n      " << e.help << " (default: " << e.default_text << ")\n";
+  }
+  out << "  --help\n      print this message\n";
+}
+
+}  // namespace asyrgs

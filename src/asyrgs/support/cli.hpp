@@ -1,0 +1,92 @@
+// Minimal command-line option parser shared by benchmarks and examples.
+//
+// Supported syntax: `--name value`, `--name=value`, and bare boolean flags
+// `--name`.  Every option is registered with a default and a help string so
+// `--help` output is generated automatically and unknown options are
+// rejected (typos in benchmark sweeps are otherwise silent and costly).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Declarative option parser.  Usage:
+///
+///   CliParser cli("fig1_convergence", "Residual vs sweep, RGS vs CG");
+///   auto n       = cli.add_int("n", 4096, "matrix dimension");
+///   auto threads = cli.add_int_list("threads", {1, 2, 4}, "thread sweep");
+///   cli.parse(argc, argv);            // exits(0) on --help
+///   use(n.value(), threads.value());
+class CliParser {
+ public:
+  /// Handle to a parsed option's value; valid after parse().  Handles point
+  /// into std::deque stores, so adding further options never invalidates
+  /// them.
+  template <typename T>
+  class Option {
+   public:
+    [[nodiscard]] const T& value() const { return *slot_; }
+    [[nodiscard]] const T& operator*() const { return *slot_; }
+
+   private:
+    friend class CliParser;
+    explicit Option(const T* slot) : slot_(slot) {}
+    const T* slot_;
+  };
+
+  CliParser(std::string program, std::string description);
+
+  Option<std::int64_t> add_int(const std::string& name, std::int64_t def,
+                               const std::string& help);
+  Option<double> add_double(const std::string& name, double def,
+                            const std::string& help);
+  Option<std::string> add_string(const std::string& name, std::string def,
+                                 const std::string& help);
+  Option<bool> add_flag(const std::string& name, const std::string& help);
+  Option<std::vector<std::int64_t>> add_int_list(
+      const std::string& name, std::vector<std::int64_t> def,
+      const std::string& help);
+
+  /// Parses argv; throws asyrgs::Error on unknown options or bad values.
+  /// Prints usage and std::exit(0)s when --help is present.
+  void parse(int argc, const char* const* argv);
+
+  /// Writes the generated usage text.
+  void print_help(std::ostream& out) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag, kIntList };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    void* slot;  // into the matching std::deque store below
+  };
+
+  void register_entry(const std::string& name, Kind kind,
+                      const std::string& help, const std::string& default_text,
+                      void* slot);
+  void set_value(const std::string& name, const std::string& text);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;  // registration order, for --help
+  std::deque<std::int64_t> ints_;
+  std::deque<double> doubles_;
+  std::deque<std::string> strings_;
+  std::deque<bool> flags_;
+  std::deque<std::vector<std::int64_t>> int_lists_;
+};
+
+/// Parses "1,2,4,8" into a list of integers; throws on malformed input.
+std::vector<std::int64_t> parse_int_list(const std::string& text);
+
+}  // namespace asyrgs

@@ -1,0 +1,54 @@
+// Common definitions shared by every layer of the library.
+//
+// The library solves Ax = b for sparse symmetric positive definite A (and
+// overdetermined least-squares problems) with randomized synchronous and
+// asynchronous iterations.  Everything lives in namespace `asyrgs`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace asyrgs {
+
+/// Row/column index of a matrix or entry index of a vector.  Matrices in the
+/// reference scenario are "sparse and very large"; 64-bit indices keep the
+/// library correct beyond 2^31 entries while `nnz_t` separately counts
+/// nonzeros (which overflow 32 bits much earlier).
+using index_t = std::int64_t;
+
+/// Count of structural nonzeros / offsets into CSR value arrays.
+using nnz_t = std::int64_t;
+
+/// Exception type for precondition violations and malformed input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws asyrgs::Error with `msg` when `cond` is false.  Used for argument
+/// validation on public entry points; internal consistency checks use
+/// ASYRGS_ASSERT which compiles out in release builds.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+#ifndef NDEBUG
+#define ASYRGS_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      throw ::asyrgs::Error(std::string("assertion failed: ") + #cond + \
+                            " at " + __FILE__ + ":" +                    \
+                            std::to_string(__LINE__));                   \
+  } while (0)
+#else
+#define ASYRGS_ASSERT(cond) \
+  do {                      \
+  } while (0)
+#endif
+
+/// Destructive cache-line size used to pad shared mutable state.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace asyrgs

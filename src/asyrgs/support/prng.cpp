@@ -1,0 +1,92 @@
+#include "asyrgs/support/prng.hpp"
+
+namespace asyrgs {
+
+std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm();
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x76E15D3EFEFDCBBFull, 0xC5004E441C522FB3ull, 0x77710069854EE241ull,
+      0x39109BB02ACBE635ull};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+namespace {
+
+// Philox multiplication constants and Weyl key increments from Salmon et al.
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) noexcept {
+  const std::uint64_t prod =
+      static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+  hi = static_cast<std::uint32_t>(prod >> 32);
+  lo = static_cast<std::uint32_t>(prod);
+}
+
+inline Philox4x32::Block single_round(Philox4x32::Block ctr,
+                                      Philox4x32::Key key) noexcept {
+  std::uint32_t hi0, lo0, hi1, lo1;
+  mulhilo(kPhiloxM0, ctr[0], hi0, lo0);
+  mulhilo(kPhiloxM1, ctr[2], hi1, lo1);
+  return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+Philox4x32::Block Philox4x32::apply(Block counter, Key key) noexcept {
+  // 10 rounds with the key bumped by the Weyl sequence between rounds.
+  for (int round = 0; round < 9; ++round) {
+    counter = single_round(counter, key);
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  return single_round(counter, key);
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,170 @@
+// Pseudo-random number generation.
+//
+// The paper's experimental methodology (Section 9) fixes the sequence of
+// random directions d_0, d_1, ... across thread counts by using the
+// counter-based Random123 generator, "which allows random access to the
+// pseudo-random numbers, as opposed to the conventional streamed approach".
+// We reproduce that capability with an in-repo implementation of
+// Philox4x32-10 (Salmon, Moraes, Dror & Shaw, SC'11): a pure function from
+// (key, counter) to 128 random bits.  Worker w of the asynchronous solver
+// evaluates the generator at the *global* iteration index, so the multiset of
+// directions is identical no matter how iterations are divided among
+// processors.
+//
+// SplitMix64 (seed expansion) and Xoshiro256** (fast sequential stream) cover
+// the remaining, non-random-access needs: matrix generation, shuffles, noise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+// ---------------------------------------------------------------------------
+// SplitMix64
+// ---------------------------------------------------------------------------
+
+/// Stateless SplitMix64 step: maps z to a well-mixed 64-bit value.  Used to
+/// expand user seeds into independent engine states.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t z) noexcept;
+
+/// Tiny sequential engine over splitmix64; satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    state_ += 0x9E3779B97F4A7C15ull;
+    return splitmix64(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---------------------------------------------------------------------------
+// Xoshiro256**
+// ---------------------------------------------------------------------------
+
+/// Blackman & Vigna's xoshiro256** 1.0: fast, high-quality sequential
+/// generator used wherever random access is not required.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 as recommended by the authors.
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls of operator(); yields a provably
+  /// non-overlapping subsequence for a parallel worker.
+  void long_jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+// ---------------------------------------------------------------------------
+// Philox4x32-10
+// ---------------------------------------------------------------------------
+
+/// Counter-based PRNG: a keyed bijection on 128-bit counters.  `operator()`
+/// is pure, so evaluating at counter j gives O(1) random access to the j-th
+/// block of the stream.
+class Philox4x32 {
+ public:
+  using Block = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  /// Builds the keyed generator; the 64-bit seed is the Philox key.
+  explicit Philox4x32(std::uint64_t seed) noexcept
+      : key_{static_cast<std::uint32_t>(seed),
+             static_cast<std::uint32_t>(seed >> 32)} {}
+
+  /// The raw 10-round Philox4x32 bijection (exposed for known-answer tests).
+  [[nodiscard]] static Block apply(Block counter, Key key) noexcept;
+
+  /// 128 random bits for 128-bit counter (hi,lo).
+  [[nodiscard]] Block block(std::uint64_t counter_hi,
+                            std::uint64_t counter_lo) const noexcept {
+    return apply({static_cast<std::uint32_t>(counter_lo),
+                  static_cast<std::uint32_t>(counter_lo >> 32),
+                  static_cast<std::uint32_t>(counter_hi),
+                  static_cast<std::uint32_t>(counter_hi >> 32)},
+                 key_);
+  }
+
+  /// 64 random bits for stream position `index`: lanes 0,1 of block index/2
+  /// for even indices, lanes 2,3 for odd ones.
+  [[nodiscard]] std::uint64_t at(std::uint64_t index) const noexcept {
+    const Block b = block(0, index >> 1);
+    const unsigned base = (index & 1u) ? 2u : 0u;
+    return (static_cast<std::uint64_t>(b[base + 1]) << 32) | b[base];
+  }
+
+  /// Uniform draw from {0, ..., n-1} at stream position `index` using the
+  /// 128-bit multiply reduction (bias < n / 2^64; negligible for any matrix
+  /// dimension this library handles).
+  [[nodiscard]] index_t index_at(std::uint64_t index, index_t n) const noexcept {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(at(index)) *
+        static_cast<unsigned __int128>(n);
+    return static_cast<index_t>(prod >> 64);
+  }
+
+  /// Uniform double in [0,1) at stream position `index` (53 random bits).
+  [[nodiscard]] double real_at(std::uint64_t index) const noexcept {
+    return static_cast<double>(at(index) >> 11) * 0x1.0p-53;
+  }
+
+  [[nodiscard]] Key key() const noexcept { return key_; }
+
+ private:
+  Key key_;
+};
+
+// ---------------------------------------------------------------------------
+// Distribution helpers (engine-generic)
+// ---------------------------------------------------------------------------
+
+/// Uniform double in [0,1) with 53 random bits from any 64-bit engine.
+template <typename Engine>
+[[nodiscard]] double uniform_real(Engine& eng) {
+  return static_cast<double>(eng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform draw from {0, ..., n-1} (n > 0) via 128-bit multiply reduction.
+template <typename Engine>
+[[nodiscard]] index_t uniform_index(Engine& eng, index_t n) {
+  ASYRGS_ASSERT(n > 0);
+  const unsigned __int128 prod = static_cast<unsigned __int128>(eng()) *
+                                 static_cast<unsigned __int128>(n);
+  return static_cast<index_t>(prod >> 64);
+}
+
+/// Standard normal deviate (Box-Muller; one value per call, no caching so the
+/// call is stateless with respect to the distribution).
+template <typename Engine>
+[[nodiscard]] double normal(Engine& eng) {
+  // Rejection-free polar-less form; u1 is bounded away from zero.
+  double u1 = 0.0;
+  do {
+    u1 = uniform_real(eng);
+  } while (u1 <= 1e-300);
+  const double u2 = uniform_real(eng);
+  constexpr double two_pi = 6.28318530717958647692;
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(two_pi * u2);
+}
+
+}  // namespace asyrgs

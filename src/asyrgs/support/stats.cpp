@@ -1,0 +1,67 @@
+#include "asyrgs/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace asyrgs {
+
+double median(std::vector<double> sample) {
+  require(!sample.empty(), "median: empty sample");
+  const std::size_t mid = sample.size() / 2;
+  std::nth_element(sample.begin(), sample.begin() + mid, sample.end());
+  double hi = sample[mid];
+  if (sample.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(sample.begin(), sample.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double mean(const std::vector<double>& sample) {
+  require(!sample.empty(), "mean: empty sample");
+  return std::accumulate(sample.begin(), sample.end(), 0.0) /
+         static_cast<double>(sample.size());
+}
+
+double geometric_mean(const std::vector<double>& sample) {
+  require(!sample.empty(), "geometric_mean: empty sample");
+  double log_sum = 0.0;
+  for (double v : sample) {
+    require(v > 0.0, "geometric_mean: non-positive sample value");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+Summary summarize(std::vector<double> sample) {
+  require(!sample.empty(), "summarize: empty sample");
+  Summary s;
+  s.count = sample.size();
+  s.mean = mean(sample);
+  s.median = median(sample);
+  auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+  s.min = *mn;
+  s.max = *mx;
+  if (sample.size() > 1) {
+    double acc = 0.0;
+    for (double v : sample) acc += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(sample.size() - 1));
+  }
+  return s;
+}
+
+double linear_fit_slope(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  require(x.size() == y.size(), "linear_fit_slope: size mismatch");
+  require(x.size() >= 2, "linear_fit_slope: need at least two points");
+  const double xm = mean(x);
+  const double ym = mean(y);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - xm) * (y[i] - ym);
+    den += (x[i] - xm) * (x[i] - xm);
+  }
+  require(den > 0.0, "linear_fit_slope: degenerate abscissa");
+  return num / den;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,41 @@
+// Summary statistics over repeated benchmark runs.
+//
+// The paper reports the *median* of five runs for the non-deterministic
+// asynchronous experiments (Table 1, Figure 3); this module provides exactly
+// that plus the usual dispersion measures.
+#pragma once
+
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Order statistics and moments of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+};
+
+/// Computes the summary of `sample` (must be non-empty).
+[[nodiscard]] Summary summarize(std::vector<double> sample);
+
+/// Median of a sample (must be non-empty).
+[[nodiscard]] double median(std::vector<double> sample);
+
+/// Arithmetic mean (must be non-empty).
+[[nodiscard]] double mean(const std::vector<double>& sample);
+
+/// Geometric mean (all entries must be positive).
+[[nodiscard]] double geometric_mean(const std::vector<double>& sample);
+
+/// Linear least-squares slope of y against x; used to estimate empirical
+/// convergence rates from log-error series.
+[[nodiscard]] double linear_fit_slope(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+}  // namespace asyrgs

@@ -1,0 +1,44 @@
+// ASCII table rendering for benchmark output.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// helper keeps the output aligned and machine-greppable (a `#` prefix marks
+// metadata lines, data rows are plain).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one data row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with columns padded to the widest cell.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal formatting ("12.345").
+[[nodiscard]] std::string fmt_fixed(double v, int precision = 3);
+
+/// Scientific formatting ("1.234e-05").
+[[nodiscard]] std::string fmt_sci(double v, int precision = 3);
+
+/// Engineering-style formatting that picks fixed or scientific based on
+/// magnitude; benchmark default.
+[[nodiscard]] std::string fmt_auto(double v, int precision = 4);
+
+}  // namespace asyrgs

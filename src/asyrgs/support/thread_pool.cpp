@@ -1,0 +1,185 @@
+#include "asyrgs/support/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <algorithm>
+#include <vector>
+
+#include "asyrgs/support/aligned.hpp"
+
+namespace asyrgs {
+
+namespace {
+thread_local bool tls_inside_worker = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  explicit Impl(int max_workers) : max_workers(max_workers) {
+    threads.reserve(static_cast<std::size_t>(max_workers - 1));
+    for (int id = 1; id < max_workers; ++id) {
+      threads.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutdown = true;
+      ++epoch;
+    }
+    cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void worker_loop(int id) {
+    tls_inside_worker = true;
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      const std::function<void(int, int)>* my_job = nullptr;
+      int my_team = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return shutdown || epoch != seen_epoch; });
+        if (shutdown) return;
+        seen_epoch = epoch;
+        my_team = team;
+        if (id < my_team) my_job = &job;
+      }
+      if (my_job != nullptr) {
+        try {
+          (*my_job)(id, my_team);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          done_cv.notify_one();
+        }
+      }
+    }
+  }
+
+  void run(int workers, const std::function<void(int, int)>& fn) {
+    if (workers > 1) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        job = fn;
+        team = workers;
+        in_flight.store(workers - 1, std::memory_order_relaxed);
+        ++epoch;
+      }
+      cv.notify_all();
+    }
+    // The caller is worker 0.  While it executes team work it must count as
+    // "inside a worker" so that a nested run_team degrades to a serial team
+    // instead of clobbering the in-flight job state.
+    tls_inside_worker = true;
+    try {
+      fn(0, workers);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    tls_inside_worker = false;
+    if (workers > 1) {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done_cv.wait(lock, [&] {
+        return in_flight.load(std::memory_order_acquire) == 0;
+      });
+    }
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      err = first_error;
+      first_error = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  const int max_workers;
+  std::vector<std::thread> threads;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::function<void(int, int)> job;
+  int team = 0;
+  std::uint64_t epoch = 0;
+  bool shutdown = false;
+
+  std::atomic<int> in_flight{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+};
+
+ThreadPool::ThreadPool(int max_workers) {
+  if (max_workers <= 0) {
+    max_workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (max_workers <= 0) max_workers = 1;
+  }
+  impl_ = std::make_unique<Impl>(max_workers);
+}
+
+ThreadPool::~ThreadPool() = default;
+
+int ThreadPool::size() const noexcept { return impl_->max_workers; }
+
+bool ThreadPool::inside_worker() noexcept { return tls_inside_worker; }
+
+void ThreadPool::run_team(int workers, const std::function<void(int, int)>& fn) {
+  if (workers < 1) workers = 1;
+  if (workers > impl_->max_workers) workers = impl_->max_workers;
+  if (workers == 1 || inside_worker()) {
+    // Nested or trivial team: execute inline as a team of one.
+    fn(0, 1);
+    return;
+  }
+  impl_->run(workers, fn);
+}
+
+void ThreadPool::parallel_for(
+    index_t begin, index_t end,
+    const std::function<void(index_t, index_t)>& range_fn, int workers) {
+  if (end <= begin) return;
+  const index_t total = end - begin;
+  if (workers <= 0) workers = size();
+  if (workers > total) workers = static_cast<int>(total);
+  run_team(workers, [&](int id, int team) {
+    // Even split; the first (total % team) chunks get one extra iteration.
+    const index_t base = total / team;
+    const index_t extra = total % team;
+    const index_t lo = begin + base * id + std::min<index_t>(id, extra);
+    const index_t hi = lo + base + (id < extra ? 1 : 0);
+    if (hi > lo) range_fn(lo, hi);
+  });
+}
+
+void ThreadPool::parallel_for_dynamic(
+    index_t begin, index_t end, index_t grain,
+    const std::function<void(index_t, index_t)>& range_fn, int workers) {
+  if (end <= begin) return;
+  require(grain > 0, "parallel_for_dynamic: grain must be positive");
+  if (workers <= 0) workers = size();
+  Padded<std::atomic<index_t>> next;
+  next.value.store(begin, std::memory_order_relaxed);
+  run_team(workers, [&](int, int) {
+    for (;;) {
+      const index_t lo =
+          next.value.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      range_fn(lo, std::min(lo + grain, end));
+    }
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,80 @@
+// Persistent worker-thread pool.
+//
+// Why not OpenMP: the asynchronous solver needs (a) explicit worker identity
+// so that worker w executes exactly the global iteration indices
+// {w, w+P, w+2P, ...} (this is what fixes the random direction multiset
+// across thread counts, Section 9 of the paper), (b) precisely placed
+// barriers for the occasional-synchronization scheme, and (c) deterministic
+// team sizes under test.  A small dedicated pool gives all three and keeps
+// the build self-contained.
+//
+// The calling thread always participates as worker 0, so a team of size 1
+// runs inline with zero synchronization cost.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include "asyrgs/support/common.hpp"
+
+namespace asyrgs {
+
+/// Fixed-size pool of persistent worker threads executing "team" jobs.
+///
+/// A team job is a callable `fn(worker_id, team_size)` executed concurrently
+/// by `team_size` workers (caller thread = worker 0).  On top of that,
+/// `parallel_for` provides static and dynamic loop partitioning.
+///
+/// Exceptions thrown by workers are captured; the first one is rethrown on
+/// the calling thread after the team completes.
+///
+/// Re-entrancy: a job running inside the pool that starts another team job
+/// executes it serially on the current thread (team size 1).  This makes
+/// compositions such as "Flexible CG (parallel SpMV) preconditioned by
+/// AsyRGS (parallel team)" safe regardless of call structure.
+class ThreadPool {
+ public:
+  /// Creates a pool able to host teams of up to `max_workers` (defaults to
+  /// std::thread::hardware_concurrency()).
+  explicit ThreadPool(int max_workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum team size this pool supports.
+  [[nodiscard]] int size() const noexcept;
+
+  /// Runs `fn(worker_id, team_size)` on `workers` threads and blocks until
+  /// all return.  `workers` is clamped to [1, size()].
+  void run_team(int workers, const std::function<void(int, int)>& fn);
+
+  /// Statically partitioned parallel loop: splits [begin, end) into
+  /// `workers` contiguous chunks and invokes `range_fn(lo, hi)` per chunk.
+  /// workers == 0 selects size().
+  void parallel_for(index_t begin, index_t end,
+                    const std::function<void(index_t, index_t)>& range_fn,
+                    int workers = 0);
+
+  /// Dynamically scheduled parallel loop for irregular work (e.g. SpMV rows
+  /// of a matrix with highly skewed row lengths): workers grab chunks of
+  /// `grain` iterations from a shared counter.
+  void parallel_for_dynamic(index_t begin, index_t end, index_t grain,
+                            const std::function<void(index_t, index_t)>& range_fn,
+                            int workers = 0);
+
+  /// True when called from inside a pool worker (team jobs would nest).
+  [[nodiscard]] static bool inside_worker() noexcept;
+
+  /// Process-wide pool, lazily constructed with hardware concurrency.
+  /// Benchmarks and examples share this instance so thread creation cost is
+  /// paid once.
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace asyrgs

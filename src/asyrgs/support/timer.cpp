@@ -1,0 +1,4 @@
+#include "asyrgs/support/timer.hpp"
+
+// Header-only today; this translation unit pins the header into the build so
+// ODR/ABI issues surface at library-build time rather than in user builds.

@@ -1,0 +1,153 @@
+#include "asyrgs/theory/bounds.hpp"
+
+#include <cmath>
+
+#include "asyrgs/linalg/eigen.hpp"
+#include "asyrgs/sparse/properties.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+TheoremInputs measure_theorem_inputs(ThreadPool& pool, const CsrMatrix& a,
+                                     index_t tau, double beta,
+                                     int lanczos_steps) {
+  require(a.square(), "measure_theorem_inputs: matrix must be square");
+  TheoremInputs in;
+  in.n = a.rows();
+  in.rho = rho(a);
+  in.rho2 = rho2(a);
+  in.tau = tau;
+  in.beta = beta;
+  const SpectrumEstimate spec = estimate_spectrum(pool, a, lanczos_steps);
+  in.lambda_min = spec.lambda_min;
+  in.lambda_max = spec.lambda_max;
+  return in;
+}
+
+double nu_tau(double rho, index_t tau, double beta) {
+  require(rho >= 0.0 && tau >= 0, "nu_tau: bad inputs");
+  return 2.0 * beta - beta * beta -
+         2.0 * rho * static_cast<double>(tau) * beta * beta;
+}
+
+double omega_tau(double rho2, index_t tau, double beta) {
+  require(rho2 >= 0.0 && tau >= 0, "omega_tau: bad inputs");
+  const double t = static_cast<double>(tau);
+  return 2.0 * beta * (1.0 - beta - rho2 * t * t * beta / 2.0);
+}
+
+namespace {
+
+/// (1 - lambda_max / n)^{-2 tau}, the stale-window amplification shared by
+/// chi and psi.
+double window_amplification(const TheoremInputs& in) {
+  const double delta_max =
+      1.0 - in.lambda_max / static_cast<double>(in.n);
+  require(delta_max > 0.0,
+          "theorem bounds: need lambda_max < n (unit-diagonal scaling)");
+  return std::pow(delta_max, -2.0 * static_cast<double>(in.tau));
+}
+
+}  // namespace
+
+double chi_term(const TheoremInputs& in) {
+  const double t = static_cast<double>(in.tau);
+  return in.rho * t * t * in.beta * in.beta * in.lambda_max *
+         window_amplification(in) / static_cast<double>(in.n);
+}
+
+double psi_term(const TheoremInputs& in) {
+  const double t = static_cast<double>(in.tau);
+  return in.rho2 * t * t * t * in.beta * in.beta * in.lambda_max *
+         window_amplification(in) / static_cast<double>(in.n);
+}
+
+double optimal_beta_consistent(double rho, index_t tau) {
+  return 1.0 / (1.0 + 2.0 * rho * static_cast<double>(tau));
+}
+
+double optimal_beta_inconsistent(double rho2, index_t tau) {
+  const double t = static_cast<double>(tau);
+  return 1.0 / (2.0 + rho2 * t * t);
+}
+
+std::uint64_t theorem_t0(index_t n, double lambda_max) {
+  require(n > 0 && lambda_max > 0.0, "theorem_t0: bad inputs");
+  const double ratio = lambda_max / static_cast<double>(n);
+  require(ratio < 1.0, "theorem_t0: need lambda_max < n");
+  const double t0 = std::log(0.5) / std::log(1.0 - ratio);
+  return static_cast<std::uint64_t>(std::ceil(t0));
+}
+
+bool consistent_bound_applicable(const TheoremInputs& in) {
+  return in.beta > 0.0 && in.beta <= 1.0 &&
+         nu_tau(in.rho, in.tau, in.beta) > 0.0;
+}
+
+bool inconsistent_bound_applicable(const TheoremInputs& in) {
+  return in.beta > 0.0 && in.beta < 1.0 &&
+         omega_tau(in.rho2, in.tau, in.beta) > 0.0;
+}
+
+double synchronous_bound(index_t n, double lambda_min, double beta,
+                         std::uint64_t m) {
+  require(n > 0 && lambda_min > 0.0, "synchronous_bound: bad inputs");
+  const double factor = 1.0 - beta * (2.0 - beta) * lambda_min /
+                                  static_cast<double>(n);
+  return std::pow(std::max(factor, 0.0), static_cast<double>(m));
+}
+
+double consistent_epoch_factor(const TheoremInputs& in) {
+  return 1.0 - nu_tau(in.rho, in.tau, in.beta) / (2.0 * in.kappa());
+}
+
+double consistent_free_running_bound(const TheoremInputs& in,
+                                     std::uint64_t m) {
+  const double nu = nu_tau(in.rho, in.tau, in.beta);
+  const double two_kappa = 2.0 * in.kappa();
+  const std::uint64_t t_epoch =
+      theorem_t0(in.n, in.lambda_max) + static_cast<std::uint64_t>(in.tau);
+  if (m < t_epoch) return 1.0;  // the theorem only speaks from m >= T on
+  const std::uint64_t r = m / t_epoch;
+  const double delta_max_tau =
+      std::pow(1.0 - in.lambda_max / static_cast<double>(in.n),
+               static_cast<double>(in.tau));
+  const double first = 1.0 - nu / two_kappa;
+  const double later = 1.0 - nu * delta_max_tau / two_kappa + chi_term(in);
+  return first * std::pow(std::max(later, 0.0), static_cast<double>(r - 1));
+}
+
+double inconsistent_epoch_factor(const TheoremInputs& in) {
+  return 1.0 - omega_tau(in.rho2, in.tau, in.beta) / (2.0 * in.kappa());
+}
+
+double inconsistent_free_running_bound(const TheoremInputs& in,
+                                       std::uint64_t m) {
+  const double omega = omega_tau(in.rho2, in.tau, in.beta);
+  const double two_kappa = 2.0 * in.kappa();
+  const std::uint64_t t_epoch =
+      theorem_t0(in.n, in.lambda_max) + static_cast<std::uint64_t>(in.tau);
+  if (m < t_epoch) return 1.0;
+  const std::uint64_t r = m / t_epoch;
+  const double delta_max_tau =
+      std::pow(1.0 - in.lambda_max / static_cast<double>(in.n),
+               static_cast<double>(in.tau));
+  const double first = 1.0 - omega / two_kappa;
+  const double later =
+      1.0 - omega * delta_max_tau / two_kappa + psi_term(in);
+  return first * std::pow(std::max(later, 0.0), static_cast<double>(r - 1));
+}
+
+std::uint64_t synchronous_iterations_for(index_t n, double lambda_min,
+                                         double beta, double eps,
+                                         double delta) {
+  require(eps > 0.0 && eps < 1.0, "synchronous_iterations_for: bad eps");
+  require(delta > 0.0 && delta < 1.0, "synchronous_iterations_for: bad delta");
+  require(beta > 0.0 && beta < 2.0, "synchronous_iterations_for: bad beta");
+  const double m = static_cast<double>(n) /
+                   (beta * (2.0 - beta) * lambda_min) *
+                   std::log(1.0 / (delta * eps * eps));
+  return static_cast<std::uint64_t>(std::ceil(m));
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,118 @@
+// The paper's convergence-rate formulas (Theorems 2-5), as code.
+//
+// These functions turn measurable matrix quantities (n, lambda_min,
+// lambda_max, rho, rho2) and execution parameters (tau, beta) into the
+// bounds the paper proves, so tests and benchmarks can place measured error
+// decay next to the theory:
+//
+//   Theorem 2 (consistent read, beta = 1):  requires 2 rho tau < 1,
+//     nu_tau = 1 - 2 rho tau,
+//     (a) E_m <= (1 - nu_tau / 2 kappa) E_0          for m >= ~0.693 n / lambda_max
+//     (b) E_m <= (1-nu/2k)(1 - nu (1-lmax/n)^tau / 2k + chi)^{r-1} E_0,
+//         chi = rho tau^2 lambda_max (1-lmax/n)^{-2tau} / n .
+//   Theorem 3 (consistent read, beta <= 1): nu_tau(beta) = 2b - b^2 - 2 rho tau b^2,
+//     optimum beta* = 1/(1 + 2 rho tau) with nu_tau(beta*) = 1/(1 + 2 rho tau).
+//   Theorem 4 (inconsistent read, beta < 1): omega_tau(beta) =
+//     2 beta (1 - beta - rho2 tau^2 beta / 2),
+//     psi = rho2 tau^3 beta^2 lambda_max (1-lmax/n)^{-2tau} / n .
+//   Theorem 5: Theorem 4 applied to X = A^T A (kappa -> kappa(A)^2).
+//
+// Equation (2) (synchronous randomized Gauss-Seidel):
+//     E_m <= (1 - beta(2-beta) lambda_min / n)^m E_0 .
+#pragma once
+
+#include <cstdint>
+
+#include "asyrgs/sparse/csr.hpp"
+
+namespace asyrgs {
+
+/// Everything the Theorem 2-4 formulas consume.  Fill from a matrix with
+/// `measure_theorem_inputs`, or by hand in tests.
+struct TheoremInputs {
+  index_t n = 0;
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  double rho = 0.0;   ///< ||A||_inf / n
+  double rho2 = 0.0;  ///< max_l (1/n) sum_r A_lr^2
+  index_t tau = 0;    ///< bounded-asynchronism parameter
+  double beta = 1.0;  ///< step size
+
+  [[nodiscard]] double kappa() const { return lambda_max / lambda_min; }
+};
+
+/// Measures n, rho, rho2 directly and estimates the spectrum via Lanczos.
+/// (Declared here, implemented against linalg/eigen.)
+class ThreadPool;
+[[nodiscard]] TheoremInputs measure_theorem_inputs(ThreadPool& pool,
+                                                   const CsrMatrix& a,
+                                                   index_t tau, double beta,
+                                                   int lanczos_steps = 100);
+
+// --- Elementary pieces -------------------------------------------------------
+
+/// nu_tau(beta) = 2 beta - beta^2 - 2 rho tau beta^2 (Theorem 3; Theorem 2
+/// is the beta = 1 case, 1 - 2 rho tau).
+[[nodiscard]] double nu_tau(double rho, index_t tau, double beta);
+
+/// omega_tau(beta) = 2 beta (1 - beta - rho2 tau^2 beta / 2) (Theorem 4).
+[[nodiscard]] double omega_tau(double rho2, index_t tau, double beta);
+
+/// chi(beta) = rho tau^2 beta^2 lambda_max (1 - lambda_max/n)^{-2 tau} / n
+/// (Theorem 3(b); Theorem 2(b) is beta = 1).
+[[nodiscard]] double chi_term(const TheoremInputs& in);
+
+/// psi(beta) = rho2 tau^3 beta^2 lambda_max (1 - lambda_max/n)^{-2 tau} / n
+/// (Theorem 4(b)).
+[[nodiscard]] double psi_term(const TheoremInputs& in);
+
+/// Step size maximizing nu_tau(beta): beta* = 1 / (1 + 2 rho tau)
+/// (Section 6 discussion).
+[[nodiscard]] double optimal_beta_consistent(double rho, index_t tau);
+
+/// Step size maximizing omega_tau(beta): beta* = 1 / (2 + rho2 tau^2).
+[[nodiscard]] double optimal_beta_inconsistent(double rho2, index_t tau);
+
+/// T0 = ceil(log(1/2) / log(1 - lambda_max/n)) ~ 0.693 n / lambda_max:
+/// the warm-up length in Theorems 2-4.
+[[nodiscard]] std::uint64_t theorem_t0(index_t n, double lambda_max);
+
+// --- Applicability -----------------------------------------------------------
+
+/// Theorem 2/3 precondition: 2 beta - beta^2 - 2 rho tau beta^2 > 0.
+[[nodiscard]] bool consistent_bound_applicable(const TheoremInputs& in);
+
+/// Theorem 4 precondition: beta (1 - beta - rho2 tau^2 beta / 2) > 0.
+[[nodiscard]] bool inconsistent_bound_applicable(const TheoremInputs& in);
+
+// --- Assembled bounds (ratios E_m / E_0) -------------------------------------
+
+/// Equation (2): synchronous randomized Gauss-Seidel after m updates.
+[[nodiscard]] double synchronous_bound(index_t n, double lambda_min,
+                                       double beta, std::uint64_t m);
+
+/// Theorem 2(a)/3(a): the per-epoch factor 1 - nu_tau(beta) / (2 kappa)
+/// valid once m >= theorem_t0 (occasional-synchronization regime).
+[[nodiscard]] double consistent_epoch_factor(const TheoremInputs& in);
+
+/// Theorem 2(b)/3(b): bound on E_m / E_0 for free-running execution at
+/// update count m (uses r = floor(m / (T0 + tau)) full epochs).
+[[nodiscard]] double consistent_free_running_bound(const TheoremInputs& in,
+                                                   std::uint64_t m);
+
+/// Theorem 4(a): per-epoch factor 1 - omega_tau(beta) / (2 kappa).
+[[nodiscard]] double inconsistent_epoch_factor(const TheoremInputs& in);
+
+/// Theorem 4(b): free-running bound at update count m.
+[[nodiscard]] double inconsistent_free_running_bound(const TheoremInputs& in,
+                                                     std::uint64_t m);
+
+/// Markov-style iteration count (Section 3): smallest m with
+/// Pr(||x_m - x*||_A >= eps ||x_0 - x*||_A) <= delta for the synchronous
+/// method: m >= n / (beta(2-beta) lambda_min) * ln(1 / (delta eps^2)).
+[[nodiscard]] std::uint64_t synchronous_iterations_for(index_t n,
+                                                       double lambda_min,
+                                                       double beta, double eps,
+                                                       double delta);
+
+}  // namespace asyrgs

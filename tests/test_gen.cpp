@@ -1,0 +1,208 @@
+// Generator tests: Laplacian spectra, SDD/SPD random matrices, and the
+// synthetic social-media Gram system's structural guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyrgs/gen/gram.hpp"
+#include "asyrgs/gen/laplacian.hpp"
+#include "asyrgs/gen/random_spd.hpp"
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/linalg/vector_ops.hpp"
+#include "asyrgs/sparse/properties.hpp"
+#include "asyrgs/support/prng.hpp"
+
+namespace asyrgs {
+namespace {
+
+TEST(Laplacian, OneDStructure) {
+  const CsrMatrix a = laplacian_1d(5);
+  EXPECT_EQ(a.rows(), 5);
+  EXPECT_EQ(a.nnz(), 5 + 2 * 4);
+  EXPECT_TRUE(is_symmetric(a));
+  EXPECT_TRUE(is_weakly_diagonally_dominant(a));
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), -1.0);
+}
+
+TEST(Laplacian, OneDEigenvalueFormulaBrackets) {
+  // lambda_1 < ... < lambda_n, all in (0, 4).
+  const index_t n = 40;
+  double prev = 0.0;
+  for (index_t k = 1; k <= n; ++k) {
+    const double lk = laplacian_1d_eigenvalue(n, k);
+    EXPECT_GT(lk, prev);
+    EXPECT_LT(lk, 4.0);
+    prev = lk;
+  }
+  EXPECT_THROW((void)laplacian_1d_eigenvalue(n, 0), Error);
+  EXPECT_THROW((void)laplacian_1d_eigenvalue(n, n + 1), Error);
+}
+
+TEST(Laplacian, TwoDRowSumsVanishInside) {
+  const CsrMatrix a = laplacian_2d(7, 6);
+  EXPECT_EQ(a.rows(), 42);
+  EXPECT_TRUE(is_symmetric(a));
+  // Interior point (3, 3): full 5-point stencil sums to zero.
+  const index_t interior = 3 * 7 + 3;
+  double row_sum = 0.0;
+  for (double v : a.row_vals(interior)) row_sum += v;
+  EXPECT_DOUBLE_EQ(row_sum, 0.0);
+  EXPECT_EQ(a.row_nnz(interior), 5);
+}
+
+TEST(Laplacian, TwoDAnisotropyScalesEntries) {
+  const CsrMatrix a = laplacian_2d(5, 5, 10.0, 1.0);
+  const index_t interior = 2 * 5 + 2;
+  EXPECT_DOUBLE_EQ(a.at(interior, interior), 22.0);
+  EXPECT_DOUBLE_EQ(a.at(interior, interior - 1), -10.0);  // x neighbour
+  EXPECT_DOUBLE_EQ(a.at(interior, interior - 5), -1.0);   // y neighbour
+}
+
+TEST(Laplacian, ThreeDStructure) {
+  const CsrMatrix a = laplacian_3d(4, 3, 2);
+  EXPECT_EQ(a.rows(), 24);
+  EXPECT_TRUE(is_symmetric(a));
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 6.0);
+  const RowNnzStats s = row_nnz_stats(a);
+  EXPECT_LE(s.max, 7);
+  EXPECT_GE(s.min, 4);
+}
+
+TEST(RandomSdd, IsSymmetricAndStrictlyDominant) {
+  RandomBandedOptions opt;
+  opt.n = 300;
+  opt.offdiag_per_row = 6;
+  opt.bandwidth = 25;
+  opt.seed = 3;
+  const CsrMatrix a = random_sdd(opt);
+  EXPECT_EQ(a.rows(), 300);
+  EXPECT_TRUE(is_symmetric(a, 1e-14));
+  EXPECT_TRUE(is_strictly_diagonally_dominant(a));
+}
+
+TEST(RandomSdd, DeterministicInSeed) {
+  RandomBandedOptions opt;
+  opt.n = 100;
+  opt.seed = 5;
+  const CsrMatrix a = random_sdd(opt);
+  const CsrMatrix b = random_sdd(opt);
+  EXPECT_TRUE(a.equals(b, 0.0));
+  opt.seed = 6;
+  EXPECT_FALSE(random_sdd(opt).equals(a, 0.0));
+}
+
+TEST(RandomSpdProduct, IsSymmetricPositiveDefinite) {
+  RandomSpdOptions opt;
+  opt.n = 200;
+  opt.seed = 9;
+  const CsrMatrix a = random_spd_product(opt);
+  EXPECT_TRUE(is_symmetric(a, 1e-13));
+  // Positive definiteness probe: x^T A x >= ridge ||x||^2 for random x.
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(200);
+    for (double& v : x) v = normal(rng);
+    std::vector<double> ax(200);
+    a.multiply(x.data(), ax.data());
+    EXPECT_GE(dot(x, ax), opt.ridge * dot(x, x) - 1e-9);
+  }
+}
+
+TEST(RandomSpdProduct, GenerallyNotDiagonallyDominant) {
+  // The whole point of this generator: SPD without the classic asynchronous
+  // applicability condition.
+  RandomSpdOptions opt;
+  opt.n = 400;
+  opt.factor_entries_per_row = 6;
+  opt.seed = 21;
+  const CsrMatrix a = random_spd_product(opt);
+  EXPECT_FALSE(is_strictly_diagonally_dominant(a));
+}
+
+TEST(SocialGram, MatchesFactorQuadraticForm) {
+  SocialGramOptions opt;
+  opt.terms = 150;
+  opt.documents = 800;
+  opt.mean_doc_length = 5;
+  opt.ridge = 0.5;
+  opt.seed = 13;
+  const SocialGram sys = make_social_gram(opt);
+  ASSERT_EQ(sys.gram.rows(), 150);
+  ASSERT_EQ(sys.factor.rows(), 800);
+  ASSERT_EQ(sys.factor.cols(), 150);
+  EXPECT_TRUE(is_symmetric(sys.gram, 1e-12));
+
+  // x^T A x must equal ||F x||^2 + ridge ||x||^2 for any x.
+  Xoshiro256 rng(29);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(150);
+    for (double& v : x) v = normal(rng);
+    std::vector<double> ax(150);
+    sys.gram.multiply(x.data(), ax.data());
+    const double quad = dot(x, ax);
+
+    std::vector<double> fx(800);
+    sys.factor.multiply(x.data(), fx.data());
+    const double expect = dot(fx, fx) + opt.ridge * dot(x, x);
+    EXPECT_NEAR(quad, expect, 1e-8 * std::max(1.0, std::abs(expect)));
+  }
+}
+
+TEST(SocialGram, HasSkewedRowSizes) {
+  SocialGramOptions opt;
+  opt.terms = 2000;
+  opt.documents = 2000;
+  opt.mean_doc_length = 6;
+  opt.zipf_exponent = 1.1;
+  opt.seed = 31;
+  const SocialGram sys = make_social_gram(opt);
+  const RowNnzStats s = row_nnz_stats(sys.gram);
+  // Hub terms co-occur with a large share of the vocabulary; rare terms see
+  // almost nothing: the paper's max/mean skew (117182 / 1439) in miniature.
+  EXPECT_GT(static_cast<double>(s.max), 4.0 * s.mean);
+  EXPECT_GE(s.min, 1);  // ridge guarantees at least the diagonal
+}
+
+TEST(SocialGram, NonUnitDiagonal) {
+  SocialGramOptions opt;
+  opt.terms = 100;
+  opt.documents = 500;
+  opt.seed = 37;
+  const SocialGram sys = make_social_gram(opt);
+  bool any_non_unit = false;
+  for (index_t i = 0; i < sys.gram.rows(); ++i)
+    any_non_unit |= std::abs(sys.gram.at(i, i) - 1.0) > 0.5;
+  EXPECT_TRUE(any_non_unit);
+}
+
+TEST(Rhs, FromSolutionMatchesMultiply) {
+  const CsrMatrix a = laplacian_1d(20);
+  const std::vector<double> x = random_vector(20, 41);
+  const std::vector<double> b = rhs_from_solution(a, x);
+  std::vector<double> expect(20);
+  a.multiply(x.data(), expect.data());
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(b[i], expect[i]);
+}
+
+TEST(Rhs, BlockFromSolutionMatchesColumnwise) {
+  const CsrMatrix a = laplacian_2d(6, 4);
+  const MultiVector x = random_multivector(a.cols(), 4, 43);
+  const MultiVector b = rhs_from_solution(a, x);
+  for (index_t c = 0; c < 4; ++c) {
+    const std::vector<double> bc = rhs_from_solution(a, x.column(c));
+    for (index_t i = 0; i < a.rows(); ++i)
+      EXPECT_NEAR(b.at(i, c), bc[i], 1e-12);
+  }
+}
+
+TEST(Rhs, RandomVectorDeterministicPerSeed) {
+  const auto a = random_vector(10, 7);
+  const auto b = random_vector(10, 7);
+  const auto c = random_vector(10, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,111 @@
+// Matrix Market I/O tests: round trips, symmetric expansion, malformed
+// input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asyrgs/gen/laplacian.hpp"
+#include "asyrgs/sparse/coo.hpp"
+#include "asyrgs/sparse/io.hpp"
+
+namespace asyrgs {
+namespace {
+
+TEST(Io, GeneralRoundTrip) {
+  const CsrMatrix a = laplacian_2d(6, 5);
+  std::stringstream buf;
+  write_matrix_market(buf, a);
+  const CsrMatrix back = read_matrix_market(buf);
+  EXPECT_TRUE(a.equals(back, 0.0));
+}
+
+TEST(Io, ReadsSymmetricLowerTriangleAndExpands) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a comment line\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 3 2.0\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);  // mirrored entry
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_EQ(m.nnz(), 5);
+}
+
+TEST(Io, RejectsUpperTriangleInSymmetricFile) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n"
+      "1 2 5.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Io, RejectsMalformedHeaders) {
+  {
+    std::stringstream in("%%NotMatrixMarket matrix coordinate real general\n");
+    EXPECT_THROW(read_matrix_market(in), Error);
+  }
+  {
+    std::stringstream in("%%MatrixMarket matrix array real general\n2 2\n");
+    EXPECT_THROW(read_matrix_market(in), Error);
+  }
+  {
+    std::stringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market(in), Error);
+  }
+  {
+    std::stringstream in("");
+    EXPECT_THROW(read_matrix_market(in), Error);
+  }
+}
+
+TEST(Io, RejectsTruncatedEntryList) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(Io, CaseInsensitiveHeaderAndIntegerField) {
+  std::stringstream in(
+      "%%matrixmarket MATRIX Coordinate Integer General\n"
+      "2 2 2\n"
+      "1 1 3\n"
+      "2 2 4\n");
+  const CsrMatrix m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(Io, VectorRoundTrip) {
+  const std::vector<double> v = {1.5, -2.25, 0.0, 1e-17};
+  std::stringstream buf;
+  write_vector_market(buf, v);
+  const std::vector<double> back = read_vector_market(buf);
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(back[i], v[i]);
+}
+
+TEST(Io, VectorRejectsMultiColumnArray) {
+  std::stringstream in(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_vector_market(in), Error);
+}
+
+TEST(Io, FileRoundTripThroughDisk) {
+  const CsrMatrix a = laplacian_1d(17);
+  const std::string path = "/tmp/asyrgs_io_test.mtx";
+  write_matrix_market_file(path, a);
+  const CsrMatrix back = read_matrix_market_file(path);
+  EXPECT_TRUE(a.equals(back, 0.0));
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,209 @@
+// Dense linear algebra tests: vector kernels, multivectors, norms, Lanczos
+// and spectrum estimation against closed-form Laplacian eigenvalues.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyrgs/gen/laplacian.hpp"
+#include "asyrgs/gen/random_spd.hpp"
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/linalg/eigen.hpp"
+#include "asyrgs/linalg/lanczos.hpp"
+#include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/linalg/norms.hpp"
+#include "asyrgs/linalg/vector_ops.hpp"
+
+namespace asyrgs {
+namespace {
+
+// --- vector kernels ------------------------------------------------------------
+
+TEST(VectorOps, DotAxpyNrm2) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), std::sqrt(14.0));
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  scal(0.5, y);
+  EXPECT_DOUBLE_EQ(y[2], 6.0);
+  EXPECT_DOUBLE_EQ(max_abs(y), 6.0);
+  const auto d = subtract(x, y);
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+  EXPECT_THROW((void)dot(x, {1.0}), Error);
+}
+
+TEST(VectorOps, ParallelVariantsMatchSerial) {
+  ThreadPool pool(8);
+  const index_t n = 100000;
+  const std::vector<double> x = random_vector(n, 1);
+  std::vector<double> y = random_vector(n, 2);
+  std::vector<double> y2 = y;
+
+  const double expect = dot(x.data(), y.data(), n);
+  EXPECT_NEAR(dot_parallel(pool, x.data(), y.data(), n), expect,
+              1e-9 * std::abs(expect));
+
+  axpy(1.5, x.data(), y.data(), n);
+  axpy_parallel(pool, 1.5, x.data(), y2.data(), n);
+  for (index_t i = 0; i < n; i += 997) EXPECT_DOUBLE_EQ(y[i], y2[i]);
+}
+
+// --- multivector -----------------------------------------------------------------
+
+TEST(MultiVector, RowMajorLayoutAndColumnAccess) {
+  MultiVector m(3, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(2, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m.row(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.data()[1], 2.0);  // row-major: (0,1) is element 1
+  const auto col1 = m.column(1);
+  EXPECT_DOUBLE_EQ(col1[0], 2.0);
+  EXPECT_DOUBLE_EQ(col1[2], 5.0);
+
+  std::vector<double> newcol = {7.0, 8.0, 9.0};
+  m.set_column(0, newcol);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 8.0);
+  EXPECT_THROW(m.set_column(0, {1.0}), Error);
+  EXPECT_THROW(m.column(5), Error);
+}
+
+TEST(MultiVector, NormsAndAxpy) {
+  MultiVector x(2, 2);
+  x.at(0, 0) = 3.0;
+  x.at(1, 0) = 4.0;
+  x.at(0, 1) = 1.0;
+  const auto norms = column_norms(x);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 1.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(x), std::sqrt(26.0));
+
+  MultiVector y(2, 2);
+  block_axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y.at(1, 0), 8.0);
+  const auto diffs = column_diff_norms(x, y);
+  EXPECT_DOUBLE_EQ(diffs[0], 5.0);  // ||x - 2x|| = ||x||
+}
+
+// --- norms ------------------------------------------------------------------------
+
+TEST(Norms, ANormAgainstHandComputation) {
+  const CsrMatrix a = laplacian_1d(2);  // [[2,-1],[-1,2]]
+  const std::vector<double> x = {1.0, 1.0};
+  // x^T A x = 2 - 1 - 1 + 2 = 2.
+  EXPECT_DOUBLE_EQ(a_norm(a, x), std::sqrt(2.0));
+}
+
+TEST(Norms, ResidualAndRelativeResidual) {
+  const CsrMatrix a = laplacian_1d(3);
+  const std::vector<double> x_star = {1.0, 2.0, 3.0};
+  const std::vector<double> b = rhs_from_solution(a, x_star);
+  EXPECT_NEAR(residual_norm(a, b, x_star), 0.0, 1e-13);
+  EXPECT_NEAR(relative_residual(a, b, x_star), 0.0, 1e-13);
+  const std::vector<double> zero(3, 0.0);
+  EXPECT_NEAR(relative_residual(a, b, zero), 1.0, 1e-13);
+  EXPECT_NEAR(relative_a_norm_error(a, zero, x_star), 1.0, 1e-13);
+  EXPECT_NEAR(a_norm_error(a, x_star, x_star), 0.0, 1e-13);
+}
+
+TEST(Norms, BlockRelativeResidual) {
+  ThreadPool pool(4);
+  const CsrMatrix a = laplacian_2d(5, 5);
+  const MultiVector x_star = random_multivector(a.rows(), 3, 3);
+  const MultiVector b = rhs_from_solution(a, x_star);
+  EXPECT_NEAR(relative_residual_block(pool, a, b, x_star), 0.0, 1e-12);
+  MultiVector zero(a.rows(), 3);
+  EXPECT_NEAR(relative_residual_block(pool, a, b, zero), 1.0, 1e-12);
+}
+
+// --- tridiagonal eigensolver -------------------------------------------------------
+
+TEST(Tridiag, TwoByTwoClosedForm) {
+  // [[a, b], [b, c]] eigenvalues: (a+c)/2 +- sqrt(((a-c)/2)^2 + b^2).
+  const std::vector<double> d = {3.0, 1.0};
+  const std::vector<double> e = {2.0};
+  const auto eig = tridiag_eigenvalues(d, e);
+  const double mid = 2.0, rad = std::sqrt(1.0 + 4.0);
+  EXPECT_NEAR(eig[0], mid - rad, 1e-10);
+  EXPECT_NEAR(eig[1], mid + rad, 1e-10);
+}
+
+TEST(Tridiag, ToeplitzMatchesClosedForm) {
+  // (2,-1) Toeplitz tridiagonal == 1-D Laplacian spectrum.
+  const index_t n = 25;
+  const std::vector<double> d(n, 2.0);
+  const std::vector<double> e(n - 1, -1.0);
+  const auto eig = tridiag_eigenvalues(d, e);
+  for (index_t k = 1; k <= n; ++k)
+    EXPECT_NEAR(eig[k - 1], laplacian_1d_eigenvalue(n, k), 1e-9);
+}
+
+TEST(Tridiag, SturmCountIsMonotone) {
+  const std::vector<double> d = {2.0, 2.0, 2.0};
+  const std::vector<double> e = {-1.0, -1.0};
+  EXPECT_EQ(tridiag_count_below(d, e, -1.0), 0);
+  EXPECT_EQ(tridiag_count_below(d, e, 5.0), 3);
+  int prev = 0;
+  for (double x = -1.0; x <= 5.0; x += 0.05) {
+    const int c = tridiag_count_below(d, e, x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Tridiag, SingleElement) {
+  const auto eig = tridiag_eigenvalues({4.5}, {});
+  ASSERT_EQ(eig.size(), 1u);
+  EXPECT_NEAR(eig[0], 4.5, 1e-12);
+}
+
+// --- Lanczos / spectrum estimation ---------------------------------------------------
+
+TEST(Lanczos, ExactOnFullKrylovSpace) {
+  ThreadPool pool(4);
+  const index_t n = 60;
+  const CsrMatrix a = laplacian_1d(n);
+  const LanczosResult lz = lanczos_extreme(pool, a, static_cast<int>(n));
+  EXPECT_NEAR(lz.lambda_min, laplacian_1d_eigenvalue(n, 1), 1e-7);
+  EXPECT_NEAR(lz.lambda_max, laplacian_1d_eigenvalue(n, n), 1e-7);
+}
+
+TEST(Lanczos, PartialRunBracketsSpectrum) {
+  ThreadPool pool(4);
+  const CsrMatrix a = laplacian_2d(20, 20);
+  const LanczosResult lz = lanczos_extreme(pool, a, 60);
+  // Ritz values always lie inside the true spectrum (0, 8).
+  EXPECT_GT(lz.lambda_min, 0.0);
+  EXPECT_LT(lz.lambda_max, 8.0);
+  // And with 60 steps the extreme ones are tight.
+  EXPECT_LT(lz.lambda_min, 0.1);
+  EXPECT_GT(lz.lambda_max, 7.5);
+}
+
+TEST(PowerMethod, FindsLambdaMax) {
+  // Small n keeps the lambda_max / lambda_{max-1} gap wide enough for the
+  // power method to converge in a reasonable iteration budget; Lanczos is
+  // the production estimator.
+  ThreadPool pool(4);
+  const index_t n = 30;
+  const CsrMatrix a = laplacian_1d(n);
+  const PowerMethodResult pm = power_method(pool, a, 5000, 1e-13);
+  EXPECT_TRUE(pm.converged);
+  EXPECT_NEAR(pm.lambda_max, laplacian_1d_eigenvalue(n, n), 1e-3);
+}
+
+TEST(Spectrum, ConditionNumberOfLaplacian) {
+  ThreadPool pool(4);
+  const index_t n = 50;
+  const CsrMatrix a = laplacian_1d(n);
+  const SpectrumEstimate est = estimate_spectrum(pool, a, static_cast<int>(n));
+  const double kappa_true =
+      laplacian_1d_eigenvalue(n, n) / laplacian_1d_eigenvalue(n, 1);
+  EXPECT_NEAR(est.condition / kappa_true, 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,124 @@
+// Preconditioner tests, including the paper's headline composition:
+// Flexible CG preconditioned by asynchronous randomized Gauss-Seidel.
+#include <gtest/gtest.h>
+
+#include "asyrgs/gen/gram.hpp"
+#include "asyrgs/gen/laplacian.hpp"
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/iter/cg.hpp"
+#include "asyrgs/iter/fcg.hpp"
+#include "asyrgs/iter/precond.hpp"
+#include "asyrgs/linalg/norms.hpp"
+
+namespace asyrgs {
+namespace {
+
+TEST(Precond, IdentityCopiesInput) {
+  IdentityPreconditioner id;
+  std::vector<double> r = {1.0, 2.0};
+  std::vector<double> z;
+  id.apply(r, z);
+  EXPECT_EQ(z, r);
+  EXPECT_FALSE(id.is_variable());
+}
+
+TEST(Precond, JacobiDividesByDiagonal) {
+  const CsrMatrix a = laplacian_1d(4);  // diagonal = 2
+  JacobiPreconditioner jac(a);
+  std::vector<double> r = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> z;
+  jac.apply(r, z);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(z[i], r[i] / 2.0);
+}
+
+TEST(Precond, RgsIsVariableAcrossApplications) {
+  const CsrMatrix a = laplacian_2d(8, 8);
+  RgsPreconditioner pc(a, 2, 1.0, 11);
+  EXPECT_TRUE(pc.is_variable());
+  const std::vector<double> r = random_vector(a.rows(), 3);
+  std::vector<double> z1, z2;
+  pc.apply(r, z1);
+  pc.apply(r, z2);
+  EXPECT_NE(z1, z2);  // fresh random directions per application
+}
+
+TEST(Precond, AsyRgsApproximatesInverse) {
+  // Many sweeps of AsyRGS on A z = r should produce z ~ A^{-1} r.
+  ThreadPool pool(4);
+  const CsrMatrix a = laplacian_2d(10, 10);
+  const std::vector<double> z_star = random_vector(a.rows(), 5);
+  const std::vector<double> r = rhs_from_solution(a, z_star);
+
+  AsyRgsPreconditioner pc(pool, a, /*sweeps=*/400, /*workers=*/4);
+  std::vector<double> z;
+  pc.apply(r, z);
+  EXPECT_LT(relative_residual(a, r, z), 1e-2);
+  EXPECT_TRUE(pc.is_variable());
+  EXPECT_EQ(pc.sweeps(), 400);
+  EXPECT_EQ(pc.workers(), 4);
+}
+
+class FcgAsyRgsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FcgAsyRgsTest, TableOneComposition) {
+  // The Table 1 composition at several inner-sweep counts: FCG + AsyRGS
+  // must converge, and more inner sweeps must not increase outer
+  // iterations.
+  const int inner_sweeps = GetParam();
+  ThreadPool pool(8);
+  const CsrMatrix a = laplacian_2d(16, 16);
+  const std::vector<double> x_star = random_vector(a.rows(), 7);
+  const std::vector<double> b = rhs_from_solution(a, x_star);
+
+  AsyRgsPreconditioner pc(pool, a, inner_sweeps, /*workers=*/8);
+  FcgOptions fo;
+  fo.base.max_iterations = 500;
+  fo.base.rel_tol = 1e-8;
+  std::vector<double> x(a.rows(), 0.0);
+  const FcgReport rep = fcg_solve(pool, a, b, x, pc, fo);
+  EXPECT_TRUE(rep.base.converged) << "inner sweeps " << inner_sweeps;
+  EXPECT_LT(relative_residual(a, b, x), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(InnerSweeps, FcgAsyRgsTest,
+                         ::testing::Values(1, 2, 5, 10));
+
+TEST(Precond, MoreInnerSweepsReduceOuterIterations) {
+  ThreadPool pool(8);
+  const CsrMatrix a = laplacian_2d(18, 18);
+  const std::vector<double> b = random_vector(a.rows(), 13);
+
+  auto outer_iters = [&](int sweeps) {
+    AsyRgsPreconditioner pc(pool, a, sweeps, 8);
+    FcgOptions fo;
+    fo.base.max_iterations = 2000;
+    fo.base.rel_tol = 1e-8;
+    std::vector<double> x(a.rows(), 0.0);
+    return fcg_solve(pool, a, b, x, pc, fo).base.iterations;
+  };
+  const int with_1 = outer_iters(1);
+  const int with_10 = outer_iters(10);
+  EXPECT_LT(with_10, with_1);
+}
+
+TEST(Precond, WorksOnSkewedGramSystem) {
+  ThreadPool pool(8);
+  SocialGramOptions gopt;
+  gopt.terms = 300;
+  gopt.documents = 1200;
+  gopt.ridge = 2.0;
+  gopt.seed = 17;
+  const CsrMatrix a = make_social_gram(gopt).gram;
+  const std::vector<double> b = random_vector(a.rows(), 19);
+
+  AsyRgsPreconditioner pc(pool, a, 3, 8);
+  FcgOptions fo;
+  fo.base.max_iterations = 400;
+  fo.base.rel_tol = 1e-8;
+  std::vector<double> x(a.rows(), 0.0);
+  const FcgReport rep = fcg_solve(pool, a, b, x, pc, fo);
+  EXPECT_TRUE(rep.base.converged);
+}
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,192 @@
+// PRNG tests: Philox4x32-10 known-answer vectors, random-access semantics,
+// distribution-helper sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "asyrgs/support/prng.hpp"
+
+namespace asyrgs {
+namespace {
+
+// --- Philox4x32-10 known-answer tests (Random123 kat_vectors) ---------------
+
+TEST(Philox, KnownAnswerZeros) {
+  const Philox4x32::Block out =
+      Philox4x32::apply({0u, 0u, 0u, 0u}, {0u, 0u});
+  EXPECT_EQ(out[0], 0x6627e8d5u);
+  EXPECT_EQ(out[1], 0xe169c58du);
+  EXPECT_EQ(out[2], 0xbc57ac4cu);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, KnownAnswerAllOnes) {
+  const Philox4x32::Block out = Philox4x32::apply(
+      {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+      {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(out[0], 0x408f276du);
+  EXPECT_EQ(out[1], 0x41c83b0eu);
+  EXPECT_EQ(out[2], 0xa20bc7c6u);
+  EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(Philox, KnownAnswerPiDigits) {
+  const Philox4x32::Block out = Philox4x32::apply(
+      {0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+      {0xa4093822u, 0x299f31d0u});
+  EXPECT_EQ(out[0], 0xd16cfe09u);
+  EXPECT_EQ(out[1], 0x94fdccebu);
+  EXPECT_EQ(out[2], 0x5001e420u);
+  EXPECT_EQ(out[3], 0x24126ea1u);
+}
+
+TEST(Philox, IsPureFunctionOfKeyAndCounter) {
+  const Philox4x32 gen(12345);
+  const auto a = gen.block(7, 42);
+  const auto b = gen.block(7, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, gen.block(7, 43));
+  EXPECT_NE(a, gen.block(8, 42));
+  EXPECT_NE(a, Philox4x32(54321).block(7, 42));
+}
+
+TEST(Philox, RandomAccessMatchesAnyVisitOrder) {
+  const Philox4x32 gen(999);
+  std::vector<std::uint64_t> forward(64);
+  for (std::uint64_t i = 0; i < 64; ++i) forward[i] = gen.at(i);
+  for (std::uint64_t i = 64; i-- > 0;) EXPECT_EQ(gen.at(i), forward[i]);
+}
+
+TEST(Philox, AdjacentIndicesShareBlockButDiffer) {
+  const Philox4x32 gen(5);
+  // at(2k) and at(2k+1) come from the same 128-bit block; must still differ.
+  for (std::uint64_t k = 0; k < 32; ++k)
+    EXPECT_NE(gen.at(2 * k), gen.at(2 * k + 1));
+}
+
+TEST(Philox, IndexAtStaysInRange) {
+  const Philox4x32 gen(31);
+  for (index_t n : {1, 2, 3, 7, 100, 12345}) {
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      const index_t r = gen.index_at(i, n);
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, n);
+    }
+  }
+}
+
+TEST(Philox, IndexAtIsRoughlyUniform) {
+  const Philox4x32 gen(77);
+  const index_t n = 16;
+  const int draws = 160000;
+  std::vector<int> hist(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < draws; ++i) hist[gen.index_at(i, n)]++;
+  const double expected = static_cast<double>(draws) / n;
+  for (int count : hist) {
+    // 6-sigma band for a binomial(draws, 1/16).
+    EXPECT_NEAR(count, expected, 6.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Philox, RealAtInHalfOpenUnitInterval) {
+  const Philox4x32 gen(2024);
+  double mean = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = gen.real_at(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= draws;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+// --- SplitMix64 / Xoshiro256** ----------------------------------------------
+
+TEST(SplitMix64, ReferenceValues) {
+  // First three outputs for seed 1234567 from the reference implementation
+  // contract: splitmix64 of successive +golden-gamma states is stateless,
+  // so we only check determinism and dispersion here.
+  SplitMix64 a(42), b(42), c(43);
+  const auto a1 = a();
+  EXPECT_EQ(a1, b());
+  EXPECT_NE(a1, c());
+}
+
+TEST(SplitMix64, AvalancheOnNeighbouringSeeds) {
+  // Mixed outputs of adjacent inputs should differ in ~32 of 64 bits.
+  int total_diff_bits = 0;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    const std::uint64_t d = splitmix64(s) ^ splitmix64(s + 1);
+    total_diff_bits += __builtin_popcountll(d);
+  }
+  EXPECT_GT(total_diff_bits, 64 * 20);
+  EXPECT_LT(total_diff_bits, 64 * 44);
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 16; ++i) {
+    const auto v = a();
+    EXPECT_EQ(v, b());
+  }
+  bool any_diff = false;
+  Xoshiro256 a2(7);
+  for (int i = 0; i < 16; ++i) any_diff |= (a2() != c());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro, LongJumpDecorrelatesStreams) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Distributions, UniformRealMomentsAndRange) {
+  Xoshiro256 rng(321);
+  double mean = 0.0, var = 0.0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = uniform_real(rng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+    var += (u - 0.5) * (u - 0.5);
+  }
+  mean /= draws;
+  var /= draws;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Distributions, UniformIndexCoversSupport) {
+  Xoshiro256 rng(11);
+  std::set<index_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(uniform_index(rng, 10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Distributions, NormalMoments) {
+  Xoshiro256 rng(99);
+  double mean = 0.0, var = 0.0;
+  const int draws = 200000;
+  std::vector<double> xs(draws);
+  for (int i = 0; i < draws; ++i) xs[i] = normal(rng);
+  for (double x : xs) mean += x;
+  mean /= draws;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= draws;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,209 @@
+// Randomized Gauss-Seidel tests (sequential core): convergence, theoretical
+// decay rate (equation (2)), determinism, block/single consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyrgs/core/rgs.hpp"
+#include "asyrgs/gen/laplacian.hpp"
+#include "asyrgs/gen/random_spd.hpp"
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/linalg/norms.hpp"
+#include "asyrgs/linalg/vector_ops.hpp"
+#include "asyrgs/sparse/coo.hpp"
+#include "asyrgs/sparse/scale.hpp"
+#include "asyrgs/theory/bounds.hpp"
+
+namespace asyrgs {
+namespace {
+
+TEST(Rgs, SolvesLaplacianToTolerance) {
+  const CsrMatrix a = laplacian_2d(12, 12);
+  const std::vector<double> x_star = random_vector(a.rows(), 3);
+  const std::vector<double> b = rhs_from_solution(a, x_star);
+
+  std::vector<double> x(a.rows(), 0.0);
+  RgsOptions opt;
+  opt.sweeps = 5000;
+  opt.rel_tol = 1e-8;
+  opt.seed = 7;
+  const RgsReport rep = rgs_solve(a, b, x, opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_LT(relative_residual(a, b, x), 1e-8);
+  EXPECT_LT(nrm2(subtract(x, x_star)) / nrm2(x_star), 1e-6);
+}
+
+TEST(Rgs, HandlesNonUnitDiagonalDirectly) {
+  // Iteration (3): arbitrary positive diagonal without pre-scaling.
+  RandomBandedOptions gopt;
+  gopt.n = 300;
+  gopt.seed = 11;
+  const CsrMatrix a = random_sdd(gopt);
+  const std::vector<double> x_star = random_vector(a.rows(), 5);
+  const std::vector<double> b = rhs_from_solution(a, x_star);
+
+  std::vector<double> x(a.rows(), 0.0);
+  RgsOptions opt;
+  opt.sweeps = 2000;
+  opt.rel_tol = 1e-9;
+  const RgsReport rep = rgs_solve(a, b, x, opt);
+  EXPECT_TRUE(rep.converged);
+}
+
+TEST(Rgs, ScaledAndUnscaledRunsAgreeThroughTheDMap) {
+  // Section 3 "Non-Unit Diagonal": running iteration (3) on B directly and
+  // iteration (1) on A = DBD with the same directions gives y_j = D x_j.
+  RandomBandedOptions gopt;
+  gopt.n = 120;
+  gopt.seed = 13;
+  const CsrMatrix b_mat = random_sdd(gopt);
+  const std::vector<double> z = random_vector(b_mat.rows(), 15);
+
+  const UnitDiagonalScaling scaling(b_mat);
+  const CsrMatrix a = scaling.scale_matrix(b_mat);
+  const std::vector<double> dz = scaling.scale_rhs(z);
+
+  RgsOptions opt;
+  opt.sweeps = 3;
+  opt.seed = 99;
+
+  std::vector<double> y(b_mat.rows(), 0.0);
+  rgs_solve(b_mat, z, y, opt);
+
+  std::vector<double> x(b_mat.rows(), 0.0);
+  rgs_solve(a, dz, x, opt);
+  const std::vector<double> y_mapped = scaling.unscale_solution(x);
+
+  for (index_t i = 0; i < b_mat.rows(); ++i)
+    EXPECT_NEAR(y[i], y_mapped[i], 1e-11 * (1.0 + std::abs(y[i])));
+}
+
+TEST(Rgs, DeterministicPerSeed) {
+  const CsrMatrix a = laplacian_1d(60);
+  const std::vector<double> b = random_vector(60, 1);
+  RgsOptions opt;
+  opt.sweeps = 4;
+  opt.seed = 42;
+
+  std::vector<double> x1(60, 0.0), x2(60, 0.0), x3(60, 0.0);
+  rgs_solve(a, b, x1, opt);
+  rgs_solve(a, b, x2, opt);
+  opt.seed = 43;
+  rgs_solve(a, b, x3, opt);
+
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(x1, x3);
+}
+
+TEST(Rgs, BlockWithOneColumnMatchesSingleRhs) {
+  const CsrMatrix a = laplacian_2d(7, 7);
+  const std::vector<double> b = random_vector(a.rows(), 21);
+  RgsOptions opt;
+  opt.sweeps = 6;
+  opt.seed = 5;
+
+  std::vector<double> x_single(a.rows(), 0.0);
+  rgs_solve(a, b, x_single, opt);
+
+  MultiVector b_block(a.rows(), 1);
+  b_block.set_column(0, b);
+  MultiVector x_block(a.rows(), 1);
+  rgs_solve_block(a, b_block, x_block, opt);
+
+  for (index_t i = 0; i < a.rows(); ++i)
+    EXPECT_DOUBLE_EQ(x_single[i], x_block.at(i, 0)) << "entry " << i;
+}
+
+TEST(Rgs, BlockSolvesAllColumns) {
+  const CsrMatrix a = laplacian_2d(9, 8);
+  const MultiVector x_star = random_multivector(a.rows(), 4, 23);
+  const MultiVector b = rhs_from_solution(a, x_star);
+  MultiVector x(a.rows(), 4);
+  RgsOptions opt;
+  opt.sweeps = 4000;
+  opt.rel_tol = 1e-8;
+  const RgsReport rep = rgs_solve_block(a, b, x, opt);
+  EXPECT_TRUE(rep.converged);
+}
+
+TEST(Rgs, RejectsBadStepSize) {
+  const CsrMatrix a = laplacian_1d(10);
+  const std::vector<double> b = random_vector(10, 1);
+  std::vector<double> x(10, 0.0);
+  RgsOptions opt;
+  opt.step_size = 0.0;
+  EXPECT_THROW(rgs_solve(a, b, x, opt), Error);
+  opt.step_size = 2.0;
+  EXPECT_THROW(rgs_solve(a, b, x, opt), Error);
+}
+
+TEST(Rgs, RejectsNonPositiveDiagonal) {
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, -2.0);
+  const CsrMatrix a = builder.to_csr();
+  std::vector<double> b(2, 1.0), x(2, 0.0);
+  EXPECT_THROW(rgs_solve(a, b, x), Error);
+}
+
+TEST(Rgs, ContractionFactorFormula) {
+  EXPECT_DOUBLE_EQ(rgs_contraction_factor(100, 0.5, 1.0), 1.0 - 0.5 / 100.0);
+  // beta(2-beta) is maximized at beta = 1.
+  EXPECT_GT(rgs_contraction_factor(100, 0.5, 0.5),
+            rgs_contraction_factor(100, 0.5, 1.0));
+  EXPECT_GT(rgs_contraction_factor(100, 0.5, 1.5),
+            rgs_contraction_factor(100, 0.5, 1.0));
+  EXPECT_THROW((void)rgs_contraction_factor(0, 0.5, 1.0), Error);
+}
+
+/// Property sweep: the measured mean squared A-norm error after m updates
+/// must respect the Griebel-Oswald bound (2) within sampling slack.
+class RgsDecayTest
+    : public ::testing::TestWithParam<std::tuple<index_t, double>> {};
+
+TEST_P(RgsDecayTest, MeanErrorRespectsEquationTwo) {
+  const auto [n, beta] = GetParam();
+  const CsrMatrix a_raw = laplacian_1d(n);
+  const UnitDiagonalScaling scaling(a_raw);
+  const CsrMatrix a = scaling.scale_matrix(a_raw);  // unit diagonal
+
+  // Unit-diagonal 1-D Laplacian has lambda_min = lambda_min(raw) / 2.
+  const double lambda_min = laplacian_1d_eigenvalue(n, 1) / 2.0;
+
+  const std::vector<double> x_star = random_vector(n, 77);
+  const std::vector<double> b = rhs_from_solution(a, x_star);
+  const double e0 = std::pow(a_norm_error(a, std::vector<double>(n, 0.0),
+                                          x_star),
+                             2);
+
+  const int sweeps = 4;
+  const int trials = 40;
+  double mean_err = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> x(n, 0.0);
+    RgsOptions opt;
+    opt.sweeps = sweeps;
+    opt.step_size = beta;
+    opt.seed = 1000 + static_cast<std::uint64_t>(trial);
+    rgs_solve(a, b, x, opt);
+    mean_err += std::pow(a_norm_error(a, x, x_star), 2);
+  }
+  mean_err /= trials;
+
+  const double bound =
+      synchronous_bound(n, lambda_min, beta,
+                        static_cast<std::uint64_t>(sweeps) *
+                            static_cast<std::uint64_t>(n)) *
+      e0;
+  // 2x slack absorbs the finite sample size (the bound holds in
+  // expectation, and empirically with a comfortable margin).
+  EXPECT_LT(mean_err, 2.0 * bound + 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSteps, RgsDecayTest,
+    ::testing::Combine(::testing::Values<index_t>(40, 100),
+                       ::testing::Values(0.5, 1.0, 1.5)));
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,196 @@
+// Bounded-delay simulator tests: sync equivalence, schedule semantics,
+// model cross-checks, and error-history recording.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "asyrgs/core/rgs.hpp"
+#include "asyrgs/gen/laplacian.hpp"
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/linalg/norms.hpp"
+#include "asyrgs/simulate/async_sim.hpp"
+#include "asyrgs/sparse/scale.hpp"
+
+namespace asyrgs {
+namespace {
+
+struct SimProblem {
+  CsrMatrix a;  // unit diagonal
+  std::vector<double> x_star;
+  std::vector<double> b;
+  std::vector<double> x0;
+};
+
+SimProblem unit_problem(index_t n, std::uint64_t seed) {
+  SimProblem p;
+  const CsrMatrix raw = laplacian_1d(n);
+  p.a = UnitDiagonalScaling(raw).scale_matrix(raw);
+  p.x_star = random_vector(n, seed);
+  p.b = rhs_from_solution(p.a, p.x_star);
+  p.x0.assign(static_cast<std::size_t>(n), 0.0);
+  return p;
+}
+
+TEST(Simulate, ZeroDelayMatchesSequentialSolverBitwise) {
+  SimProblem p = unit_problem(64, 3);
+  SimOptions opt;
+  opt.iterations = 64 * 5;
+  opt.seed = 7;
+  const ZeroDelay delay;
+  const SimResult sim =
+      simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt);
+
+  std::vector<double> x_seq = p.x0;
+  RgsOptions ropt;
+  ropt.sweeps = 5;
+  ropt.seed = 7;
+  rgs_solve(p.a, p.b, x_seq, ropt);
+
+  ASSERT_EQ(sim.x.size(), x_seq.size());
+  for (std::size_t i = 0; i < x_seq.size(); ++i)
+    EXPECT_DOUBLE_EQ(sim.x[i], x_seq[i]) << "entry " << i;
+}
+
+TEST(Simulate, WindowExclusionEqualsFixedDelayBitwise) {
+  // K(j) = {0..j-tau-1} is exactly the prefix state x_{k(j)} with
+  // k(j) = max(0, j - tau): the two models must produce identical runs.
+  SimProblem p = unit_problem(48, 5);
+  SimOptions opt;
+  opt.iterations = 48 * 6;
+  opt.seed = 11;
+  opt.step_size = 0.8;
+
+  const index_t tau = 9;
+  const FixedDelay fixed(tau);
+  const WindowExclusion excl(tau);
+  const SimResult a =
+      simulate_consistent(p.a, p.b, p.x0, p.x_star, fixed, opt);
+  const SimResult b =
+      simulate_inconsistent(p.a, p.b, p.x0, p.x_star, excl, opt);
+  for (std::size_t i = 0; i < a.x.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]) << "entry " << i;
+}
+
+TEST(Simulate, PrefixInclusionEqualsItsInnerConsistentModel) {
+  SimProblem p = unit_problem(40, 7);
+  SimOptions opt;
+  opt.iterations = 40 * 5;
+  opt.seed = 13;
+
+  auto inner = std::make_shared<UniformDelay>(6, /*seed=*/99);
+  const PrefixInclusion prefix(inner);
+  const SimResult a =
+      simulate_consistent(p.a, p.b, p.x0, p.x_star, *inner, opt);
+  const SimResult b =
+      simulate_inconsistent(p.a, p.b, p.x0, p.x_star, prefix, opt);
+  for (std::size_t i = 0; i < a.x.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]) << "entry " << i;
+}
+
+TEST(Simulate, BernoulliInclusionConvergesUnderSmallStep) {
+  SimProblem p = unit_problem(64, 9);
+  SimOptions opt;
+  opt.iterations = 64 * 200;
+  opt.seed = 17;
+  opt.step_size = 0.5;  // Theorem 4 wants beta < 1
+  const BernoulliInclusion delay(12, 0.5, 23);
+  const SimResult sim =
+      simulate_inconsistent(p.a, p.b, p.x0, p.x_star, delay, opt);
+  const double e0 =
+      std::pow(a_norm_error(p.a, p.x0, p.x_star), 2);
+  EXPECT_LT(sim.final_error_sq, 1e-3 * e0);
+}
+
+TEST(Simulate, DelayDegradesButDoesNotBreakConvergence) {
+  // Same seed, increasing tau: all runs converge, and the no-delay run is
+  // (weakly) the most accurate.
+  SimProblem p = unit_problem(80, 11);
+  SimOptions opt;
+  opt.iterations = 80 * 120;
+  opt.seed = 29;
+
+  double err_zero = 0.0;
+  for (index_t tau : {0, 8, 32}) {
+    const FixedDelay delay(tau);
+    const SimResult sim =
+        simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt);
+    const double e0 = std::pow(a_norm_error(p.a, p.x0, p.x_star), 2);
+    EXPECT_LT(sim.final_error_sq, 0.1 * e0) << "tau=" << tau;
+    if (tau == 0) err_zero = sim.final_error_sq;
+  }
+  EXPECT_GT(err_zero, 0.0);
+}
+
+TEST(Simulate, BatchDelayModelsLockstepProcessors) {
+  const BatchDelay delay(8);
+  EXPECT_EQ(delay.tau(), 7);
+  EXPECT_EQ(delay.snapshot(0), 0u);
+  EXPECT_EQ(delay.snapshot(7), 0u);
+  EXPECT_EQ(delay.snapshot(8), 8u);
+  EXPECT_EQ(delay.snapshot(17), 16u);
+}
+
+TEST(Simulate, UniformDelayRespectsItsBound) {
+  const UniformDelay delay(13, 5);
+  for (std::uint64_t j = 0; j < 2000; ++j) {
+    const std::uint64_t k = delay.snapshot(j);
+    EXPECT_LE(k, j);
+    EXPECT_LE(j - k, 13u);
+  }
+}
+
+namespace {
+/// A deliberately broken schedule for failure-injection: violates its own
+/// declared tau.
+class LyingDelay final : public ConsistentDelayModel {
+ public:
+  [[nodiscard]] std::uint64_t snapshot(std::uint64_t j) const override {
+    return j > 50 ? 0 : j;  // pretends tau = 2 but returns ancient states
+  }
+  [[nodiscard]] index_t tau() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return "liar"; }
+};
+}  // namespace
+
+TEST(Simulate, RejectsScheduleViolatingItsTau) {
+  SimProblem p = unit_problem(32, 13);
+  SimOptions opt;
+  opt.iterations = 100;
+  const LyingDelay liar;
+  EXPECT_THROW(simulate_consistent(p.a, p.b, p.x0, p.x_star, liar, opt),
+               Error);
+}
+
+TEST(Simulate, RecordsErrorHistoryAtRequestedCadence) {
+  SimProblem p = unit_problem(50, 15);
+  SimOptions opt;
+  opt.iterations = 500;
+  opt.record_every = 100;
+  const ZeroDelay delay;
+  const SimResult sim =
+      simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt);
+  ASSERT_EQ(sim.record_points.size(), 5u);  // j = 0, 100, ..., 400
+  EXPECT_EQ(sim.record_points.front(), 0u);
+  EXPECT_EQ(sim.record_points.back(), 400u);
+  // Error at j=0 is the initial error; trajectory decreases overall.
+  EXPECT_LT(sim.error_sq_history.back(), sim.error_sq_history.front());
+  EXPECT_LE(sim.final_error_sq, sim.error_sq_history.back());
+}
+
+TEST(Simulate, RejectsBadInputs) {
+  SimProblem p = unit_problem(16, 17);
+  const ZeroDelay delay;
+  SimOptions opt;
+  opt.iterations = 10;
+  opt.step_size = 2.0;
+  EXPECT_THROW(simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt),
+               Error);
+  opt.step_size = 1.0;
+  std::vector<double> short_b(8, 0.0);
+  EXPECT_THROW(simulate_consistent(p.a, short_b, p.x0, p.x_star, delay, opt),
+               Error);
+}
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,215 @@
+// Support-layer tests: atomics, stats, table, CLI parsing, timer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "asyrgs/support/atomics.hpp"
+#include "asyrgs/support/cli.hpp"
+#include "asyrgs/support/stats.hpp"
+#include "asyrgs/support/table.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+#include "asyrgs/support/timer.hpp"
+
+namespace asyrgs {
+namespace {
+
+// --- atomics -----------------------------------------------------------------
+
+TEST(Atomics, AtomicAddIsExactUnderContention) {
+  double slot = 0.0;
+  ThreadPool pool(8);
+  const int per_worker = 20000;
+  pool.run_team(8, [&](int, int) {
+    for (int i = 0; i < per_worker; ++i) atomic_add_relaxed(slot, 1.0);
+  });
+  EXPECT_DOUBLE_EQ(slot, 8.0 * per_worker);
+}
+
+TEST(Atomics, AtomicAddReturnsPreviousValue) {
+  double slot = 5.0;
+  EXPECT_DOUBLE_EQ(atomic_add_relaxed(slot, 2.5), 5.0);
+  EXPECT_DOUBLE_EQ(slot, 7.5);
+}
+
+TEST(Atomics, LoadStoreRoundTrip) {
+  double slot = 0.0;
+  atomic_store_relaxed(slot, 3.25);
+  EXPECT_DOUBLE_EQ(atomic_load_relaxed(slot), 3.25);
+}
+
+TEST(Atomics, RacyAddWorksSingleThreaded) {
+  double slot = 1.0;
+  racy_add(slot, 2.0);
+  EXPECT_DOUBLE_EQ(slot, 3.0);
+}
+
+TEST(Atomics, RacyAddMayLoseUpdatesButStaysBounded) {
+  // The racy variant may lose updates, but the final value can never exceed
+  // the exact sum nor go negative when all deltas are positive.
+  double slot = 0.0;
+  ThreadPool pool(8);
+  const int per_worker = 20000;
+  pool.run_team(8, [&](int, int) {
+    for (int i = 0; i < per_worker; ++i) racy_add(slot, 1.0);
+  });
+  EXPECT_GT(slot, 0.0);
+  EXPECT_LE(slot, 8.0 * per_worker);
+}
+
+// --- stats --------------------------------------------------------------------
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, MeanAndGeometricMean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_THROW((void)geometric_mean({1.0, -1.0}), Error);
+}
+
+TEST(Stats, SummarizeMatchesHandComputation) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW((void)median({}), Error);
+  EXPECT_THROW((void)mean({}), Error);
+  EXPECT_THROW((void)summarize({}), Error);
+}
+
+TEST(Stats, LinearFitSlopeRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 0.25 * i);
+  }
+  EXPECT_NEAR(linear_fit_slope(x, y), -0.25, 1e-12);
+  EXPECT_THROW((void)linear_fit_slope({1.0}, {2.0}), Error);
+  EXPECT_THROW((void)linear_fit_slope({1.0, 1.0}, {2.0, 3.0}), Error);
+}
+
+// --- table --------------------------------------------------------------------
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"threads", "time"});
+  t.add_row({"1", "12.5"});
+  t.add_row({"16", "0.9"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("threads"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_sci(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(fmt_auto(0.0), "0");
+  // auto picks fixed in the mid range and scientific in the tails
+  EXPECT_EQ(fmt_auto(12.5, 1), "12.5");
+  EXPECT_NE(fmt_auto(1.0e-9).find('e'), std::string::npos);
+}
+
+// --- cli ----------------------------------------------------------------------
+
+TEST(Cli, ParsesAllKindsAndDefaults) {
+  CliParser cli("prog", "test");
+  auto n = cli.add_int("n", 42, "dim");
+  auto x = cli.add_double("x", 1.5, "factor");
+  auto s = cli.add_string("s", "abc", "label");
+  auto f = cli.add_flag("fast", "go fast");
+  auto l = cli.add_int_list("threads", {1, 2}, "sweep");
+
+  const char* argv[] = {"prog", "--n", "7", "--x=2.5", "--fast",
+                        "--threads", "1,2,4"};
+  cli.parse(7, argv);
+  EXPECT_EQ(n.value(), 7);
+  EXPECT_DOUBLE_EQ(x.value(), 2.5);
+  EXPECT_EQ(s.value(), "abc");  // default untouched
+  EXPECT_TRUE(f.value());
+  EXPECT_EQ(l.value(), (std::vector<std::int64_t>{1, 2, 4}));
+}
+
+TEST(Cli, RejectsUnknownOptionAndBadValue) {
+  {
+    CliParser cli("prog", "test");
+    const char* argv[] = {"prog", "--nope", "3"};
+    EXPECT_THROW(cli.parse(3, argv), Error);
+  }
+  {
+    CliParser cli("prog", "test");
+    (void)cli.add_int("n", 1, "dim");
+    const char* argv[] = {"prog", "--n", "abc"};
+    EXPECT_THROW(cli.parse(3, argv), Error);
+  }
+  {
+    CliParser cli("prog", "test");
+    (void)cli.add_int("n", 1, "dim");
+    const char* argv[] = {"prog", "--n"};
+    EXPECT_THROW(cli.parse(2, argv), Error);
+  }
+}
+
+TEST(Cli, RejectsDuplicateRegistration) {
+  CliParser cli("prog", "test");
+  (void)cli.add_int("n", 1, "dim");
+  EXPECT_THROW((void)cli.add_double("n", 1.0, "dup"), Error);
+}
+
+TEST(Cli, ParseIntListValidation) {
+  EXPECT_EQ(parse_int_list("5"), (std::vector<std::int64_t>{5}));
+  EXPECT_EQ(parse_int_list("1,2,3"), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_THROW(parse_int_list(""), Error);
+  EXPECT_THROW(parse_int_list("1,,2"), Error);
+  EXPECT_THROW(parse_int_list("1,x"), Error);
+}
+
+TEST(Cli, HelpTextListsOptions) {
+  CliParser cli("prog", "description here");
+  (void)cli.add_int("dim", 64, "matrix dimension");
+  std::ostringstream out;
+  cli.print_help(out);
+  EXPECT_NE(out.str().find("--dim"), std::string::npos);
+  EXPECT_NE(out.str().find("matrix dimension"), std::string::npos);
+}
+
+// --- timer ----------------------------------------------------------------------
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, TimedSecondsRunsFunction) {
+  bool ran = false;
+  const double s = timed_seconds([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_GE(s, 0.0);
+}
+
+}  // namespace
+}  // namespace asyrgs

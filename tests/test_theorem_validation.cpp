@@ -1,0 +1,260 @@
+// Statistical validation of Theorems 2-4: the *measured mean* squared
+// A-norm error of the simulated governing iterations must respect the
+// proved bounds (which hold in expectation).  Each test averages over many
+// direction seeds; a slack factor absorbs finite-sample noise.  The bounds
+// are loose by design (the paper itself notes they "tend to be rather
+// pessimistic"), so these assertions are comfortably robust.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyrgs/gen/random_spd.hpp"
+#include "asyrgs/sparse/coo.hpp"
+#include "asyrgs/gen/rhs.hpp"
+#include "asyrgs/linalg/lanczos.hpp"
+#include "asyrgs/linalg/norms.hpp"
+#include "asyrgs/simulate/async_sim.hpp"
+#include "asyrgs/sparse/properties.hpp"
+#include "asyrgs/sparse/scale.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+#include "asyrgs/theory/bounds.hpp"
+
+namespace asyrgs {
+namespace {
+
+struct ValidationProblem {
+  CsrMatrix a;  // unit diagonal
+  std::vector<double> x_star;
+  std::vector<double> b;
+  std::vector<double> x0;
+  double e0 = 0.0;  // ||x0 - x*||_A^2
+  TheoremInputs inputs;
+};
+
+/// Moderately conditioned unit-diagonal SPD test matrix (random SDD, then
+/// symmetrically scaled).  kappa ~ 20, so the epoch-level bounds of
+/// Theorems 2-4 actually bite instead of collapsing to ~1 as they do on an
+/// ill-conditioned Laplacian.  The spectrum is measured by a
+/// full-dimension Lanczos run (exact up to roundoff).
+ValidationProblem make_problem(index_t n, index_t tau, double beta) {
+  ValidationProblem p;
+  RandomBandedOptions gopt;
+  gopt.n = n;
+  gopt.offdiag_per_row = 6;
+  gopt.bandwidth = 32;
+  gopt.dominance_margin = 0.1;
+  gopt.seed = 99;
+  const CsrMatrix raw = random_sdd(gopt);
+  p.a = UnitDiagonalScaling(raw).scale_matrix(raw);
+  p.x_star = random_vector(n, 1234);
+  p.b = rhs_from_solution(p.a, p.x_star);
+  p.x0.assign(static_cast<std::size_t>(n), 0.0);
+  p.e0 = std::pow(a_norm_error(p.a, p.x0, p.x_star), 2);
+
+  p.inputs.n = n;
+  p.inputs.rho = rho(p.a);
+  p.inputs.rho2 = rho2(p.a);
+  ThreadPool pool(4);
+  const LanczosResult spec =
+      lanczos_extreme(pool, p.a, static_cast<int>(n), /*seed=*/17);
+  p.inputs.lambda_min = spec.lambda_min;
+  p.inputs.lambda_max = spec.lambda_max;
+  p.inputs.tau = tau;
+  p.inputs.beta = beta;
+  return p;
+}
+
+/// Mean final squared error over `trials` independent direction streams.
+template <typename RunFn>
+double mean_final_error(int trials, RunFn&& run) {
+  double acc = 0.0;
+  for (int t = 0; t < trials; ++t) acc += run(static_cast<std::uint64_t>(t));
+  return acc / trials;
+}
+
+// --- Equation (2): synchronous baseline --------------------------------------
+
+TEST(TheoremValidation, SynchronousDecayRespectsEquationTwo) {
+  ValidationProblem p = make_problem(60, 0, 1.0);
+  const std::uint64_t m = 60 * 6;
+  const ZeroDelay delay;
+
+  const double mean_err = mean_final_error(40, [&](std::uint64_t seed) {
+    SimOptions opt;
+    opt.iterations = m;
+    opt.seed = 5000 + seed;
+    return simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt)
+        .final_error_sq;
+  });
+  const double bound =
+      synchronous_bound(p.inputs.n, p.inputs.lambda_min, 1.0, m) * p.e0;
+  EXPECT_LT(mean_err, 1.5 * bound);
+}
+
+// --- Theorem 2 (consistent read, beta = 1) ------------------------------------
+
+class Theorem2Test : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(Theorem2Test, ConsistentDecayWithinEpochBound) {
+  const index_t tau = GetParam();
+  ValidationProblem p = make_problem(60, tau, 1.0);
+  ASSERT_TRUE(consistent_bound_applicable(p.inputs))
+      << "test parameters violate 2 rho tau < 1";
+
+  // Theorem 2(a): after m >= T0 iterations, E_m <= (1 - nu/2kappa) E_0.
+  const std::uint64_t m =
+      theorem_t0(p.inputs.n, p.inputs.lambda_max);
+  const FixedDelay delay(tau);
+
+  const double mean_err = mean_final_error(40, [&](std::uint64_t seed) {
+    SimOptions opt;
+    opt.iterations = m;
+    opt.seed = 9000 + seed;
+    return simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt)
+        .final_error_sq;
+  });
+  const double bound = consistent_epoch_factor(p.inputs) * p.e0;
+  EXPECT_LT(mean_err, 1.5 * bound) << "tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, Theorem2Test,
+                         ::testing::Values<index_t>(1, 4, 12));
+
+TEST(TheoremValidation, Theorem2FreeRunningBoundHolds) {
+  const index_t tau = 6;
+  ValidationProblem p = make_problem(50, tau, 1.0);
+  const std::uint64_t epoch =
+      theorem_t0(p.inputs.n, p.inputs.lambda_max) +
+      static_cast<std::uint64_t>(tau);
+  const std::uint64_t m = 4 * epoch;
+  const FixedDelay delay(tau);
+
+  const double mean_err = mean_final_error(30, [&](std::uint64_t seed) {
+    SimOptions opt;
+    opt.iterations = m;
+    opt.seed = 11000 + seed;
+    return simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt)
+        .final_error_sq;
+  });
+  const double bound = consistent_free_running_bound(p.inputs, m) * p.e0;
+  EXPECT_LT(mean_err, 1.5 * bound);
+}
+
+// --- Theorem 3 (consistent read, beta < 1) --------------------------------------
+
+class Theorem3Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem3Test, StepSizeControlledDecayWithinBound) {
+  const double beta = GetParam();
+  const index_t tau = 8;
+  ValidationProblem p = make_problem(60, tau, beta);
+  ASSERT_TRUE(consistent_bound_applicable(p.inputs));
+
+  const std::uint64_t m = theorem_t0(p.inputs.n, p.inputs.lambda_max);
+  const UniformDelay delay(tau, /*seed=*/777);
+
+  const double mean_err = mean_final_error(40, [&](std::uint64_t seed) {
+    SimOptions opt;
+    opt.iterations = m;
+    opt.seed = 13000 + seed;
+    opt.step_size = beta;
+    return simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt)
+        .final_error_sq;
+  });
+  const double bound = consistent_epoch_factor(p.inputs) * p.e0;
+  EXPECT_LT(mean_err, 1.5 * bound) << "beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, Theorem3Test,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+// --- Theorem 4 (inconsistent read, beta < 1) --------------------------------------
+
+class Theorem4Test : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(Theorem4Test, InconsistentDecayWithinEpochBound) {
+  const index_t tau = GetParam();
+  const double beta = 0.5;
+  // Larger n keeps rho2 tau^2 beta / 2 below 1 - beta at tau = 10.
+  ValidationProblem p = make_problem(150, tau, beta);
+  ASSERT_TRUE(inconsistent_bound_applicable(p.inputs))
+      << "test parameters violate beta(1 - beta - rho2 tau^2 beta/2) > 0";
+
+  const std::uint64_t m = theorem_t0(p.inputs.n, p.inputs.lambda_max);
+  const BernoulliInclusion delay(tau, 0.5, /*seed=*/31337);
+
+  const double mean_err = mean_final_error(40, [&](std::uint64_t seed) {
+    SimOptions opt;
+    opt.iterations = m;
+    opt.seed = 17000 + seed;
+    opt.step_size = beta;
+    return simulate_inconsistent(p.a, p.b, p.x0, p.x_star, delay, opt)
+        .final_error_sq;
+  });
+  const double bound = inconsistent_epoch_factor(p.inputs) * p.e0;
+  EXPECT_LT(mean_err, 1.5 * bound) << "tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, Theorem4Test,
+                         ::testing::Values<index_t>(1, 4, 10));
+
+// --- Boundary behaviour -----------------------------------------------------------
+
+TEST(TheoremValidation, BoundBecomesVacuousAtTwoRhoTauEqualOne) {
+  // At the 2 rho tau >= 1 boundary the Theorem 2 guarantee disappears
+  // (nu <= 0); the code must report inapplicability rather than a bogus
+  // bound.
+  ValidationProblem p = make_problem(60, 1, 1.0);
+  TheoremInputs in = p.inputs;
+  in.tau = static_cast<index_t>(std::ceil(0.5 / in.rho));
+  EXPECT_FALSE(consistent_bound_applicable(in));
+  EXPECT_LE(nu_tau(in.rho, in.tau, 1.0), 0.0);
+  // But a small enough step size restores a positive guarantee (Section 6).
+  in.beta = optimal_beta_consistent(in.rho, in.tau);
+  EXPECT_TRUE(consistent_bound_applicable(in));
+}
+
+TEST(TheoremValidation, OptimalBetaBeatsUnitStepUnderHeavyDelay) {
+  // Section 6's claim: step-size control gives "a convergent method for any
+  // delay (as long as we set the step size small enough)".  Regime where
+  // unit steps genuinely fail: a unit-diagonal matrix with lambda_max >> 2
+  // under batch delay tau = n - 1.  Every update in a batch is computed
+  // from the same stale snapshot, so beta = 1 behaves like undamped Jacobi
+  // (iteration matrix eigenvalue 1 - lambda_max, |.| > 1 -> divergence),
+  // while beta~ = 1/(1 + 2 rho tau) stays convergent.
+  const index_t n = 40;
+  const double c = 0.2;  // A = (1-c) I + c * ones: lambda_max = 1+(n-1)c
+  CooBuilder builder(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) builder.add(i, j, i == j ? 1.0 : c);
+  ValidationProblem p;
+  p.a = builder.to_csr();
+  p.x_star = random_vector(n, 4321);
+  p.b = rhs_from_solution(p.a, p.x_star);
+  p.x0.assign(static_cast<std::size_t>(n), 0.0);
+  p.e0 = std::pow(a_norm_error(p.a, p.x0, p.x_star), 2);
+  const double rho_val = rho(p.a);  // ~ lambda_max / n = 0.22
+
+  const BatchDelay delay(n);  // tau = n - 1: lockstep full-sweep staleness
+  const std::uint64_t m = static_cast<std::uint64_t>(n) * 30;
+
+  auto run_with_beta = [&](double beta) {
+    return mean_final_error(8, [&](std::uint64_t seed) {
+      SimOptions opt;
+      opt.iterations = m;
+      opt.seed = 23000 + seed;
+      opt.step_size = beta;
+      return simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt)
+          .final_error_sq;
+    });
+  };
+  const double err_unit = run_with_beta(1.0);
+  const double err_opt =
+      run_with_beta(optimal_beta_consistent(rho_val, n - 1));
+  EXPECT_LT(err_opt, p.e0);       // damped run actually converges
+  EXPECT_GT(err_unit, 10.0 * p.e0);  // unit step diverges under this delay
+  EXPECT_LT(err_opt, err_unit);
+}
+
+}  // namespace
+}  // namespace asyrgs

@@ -1,0 +1,153 @@
+// ThreadPool tests: coverage, partitioning, exceptions, nesting, barrier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "asyrgs/support/barrier.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, RunTeamUsesDistinctWorkerIds) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_team(4, [&](int id, int team) {
+    EXPECT_EQ(team, 4);
+    hits[static_cast<std::size_t>(id)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunTeamClampsWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> max_team{0};
+  pool.run_team(64, [&](int, int team) {
+    int cur = max_team.load();
+    while (team > cur && !max_team.compare_exchange_weak(cur, team)) {
+    }
+  });
+  EXPECT_EQ(max_team.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const index_t n = 100003;
+  std::vector<std::atomic<int>> count(static_cast<std::size_t>(n));
+  pool.parallel_for(0, n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i)
+      count[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (index_t i = 0; i < n; ++i)
+    ASSERT_EQ(count[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(8);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 3, [&](index_t lo, index_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForDynamicCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const index_t n = 54321;
+  std::vector<std::atomic<int>> count(static_cast<std::size_t>(n));
+  pool.parallel_for_dynamic(0, n, 7, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i)
+      count[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (index_t i = 0; i < n; ++i)
+    ASSERT_EQ(count[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForDynamicRejectsNonPositiveGrain) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_dynamic(0, 10, 0, [](index_t, index_t) {}),
+               Error);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_team(4,
+                             [&](int id, int) {
+                               if (id == 2) throw Error("boom");
+                             }),
+               Error);
+  // The pool must remain usable after an exception.
+  std::atomic<int> ok{0};
+  pool.run_team(4, [&](int, int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, CallerExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_team(4,
+                             [&](int id, int) {
+                               if (id == 0) throw Error("caller boom");
+                             }),
+               Error);
+}
+
+TEST(ThreadPool, NestedTeamRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_teams{-1};
+  pool.run_team(2, [&](int id, int) {
+    if (id == 0) {
+      EXPECT_TRUE(ThreadPool::inside_worker() || id == 0);
+      pool.run_team(4, [&](int, int inner_team) {
+        inner_teams.store(inner_team);
+      });
+    }
+  });
+  // Nested calls must degrade to a team of one, not deadlock.
+  EXPECT_EQ(inner_teams.load(), 1);
+}
+
+TEST(ThreadPool, InsideWorkerFalseOnCaller) {
+  EXPECT_FALSE(ThreadPool::inside_worker());
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  ThreadPool pool(4);
+  SpinBarrier barrier(4);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violation{false};
+  const int phases = 50;
+  pool.run_team(4, [&](int, int) {
+    for (int p = 0; p < phases; ++p) {
+      phase_counter.fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier every worker must observe all 4 arrivals of this
+      // phase: counter is a multiple of 4 at the phase boundary.
+      if (phase_counter.load() < 4 * (p + 1)) violation.store(true);
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_counter.load(), 4 * phases);
+}
+
+TEST(SpinBarrier, RejectsNonPositiveParticipants) {
+  EXPECT_THROW(SpinBarrier(0), Error);
+}
+
+}  // namespace
+}  // namespace asyrgs
