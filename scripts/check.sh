@@ -1,0 +1,29 @@
+#!/bin/sh
+# Runs the same matrix as .github/workflows/ci.yml locally:
+#   1. Release build + ctest (system GoogleTest when installed)
+#   2. Release build + ctest against the vendored minigtest shim
+#   3. AddressSanitizer build + ctest (library, tests, tools)
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+set -eu
+
+jobs=${1:-$(nproc 2>/dev/null || echo 2)}
+cd "$(dirname "$0")/.."
+
+echo "== [1/3] default build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+echo "== [2/3] vendored minigtest build =="
+cmake -B build-shim -S . -DCMAKE_BUILD_TYPE=Release -DASYRGS_FORCE_MINIGTEST=ON
+cmake --build build-shim -j "$jobs"
+(cd build-shim && ctest --output-on-failure -j "$jobs")
+
+echo "== [3/3] AddressSanitizer build =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DASYRGS_SANITIZE=address -DASYRGS_BUILD_BENCH=OFF \
+  -DASYRGS_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$jobs"
+(cd build-asan && ctest --output-on-failure -j "$jobs")
+
+echo "All checks passed."

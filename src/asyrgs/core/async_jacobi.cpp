@@ -1,5 +1,7 @@
 #include "asyrgs/core/async_jacobi.hpp"
 
+#include <thread>
+
 #include "asyrgs/support/atomics.hpp"
 #include "asyrgs/support/timer.hpp"
 
@@ -58,6 +60,12 @@ AsyncRgsReport async_jacobi_solve(ThreadPool& pool, const CsrMatrix& a,
       } else {
         for (index_t i = id; i < n; i += team) relax_row(i);
       }
+      // On oversubscribed hosts (threads > cores) a free-running worker can
+      // otherwise burn its entire sweep budget in one scheduling quantum
+      // against frozen neighbour values — unbounded effective delay, exactly
+      // what breaks chaotic relaxation. One yield per sweep keeps the
+      // interleaving near round-robin and the staleness near one sweep.
+      if (team > 1) std::this_thread::yield();
     }
   });
   report.sweeps_done = options.sweeps;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "asyrgs/linalg/norms.hpp"
 #include "asyrgs/support/aligned.hpp"
@@ -199,8 +200,16 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
       if (team != workers) my_plan = &fallback;
       const std::uint64_t my_total =
           my_plan->total_updates(id, options.sweeps);
-      for (std::uint64_t k = 0; k < my_total; ++k)
+      const std::uint64_t stride =
+          static_cast<std::uint64_t>(std::max<index_t>(my_plan->per_sweep(id), 1));
+      for (std::uint64_t k = 0; k < my_total; ++k) {
         update(id, my_plan->pick(id, k));
+        // Yield once per sweep-equivalent so that on oversubscribed hosts
+        // the workers interleave instead of each burning its whole budget in
+        // a few scheduling quanta (which would make the effective delay tau
+        // unbounded and stall owner-computes partitions).
+        if (team > 1 && (k + 1) % stride == 0) std::this_thread::yield();
+      }
     });
     report.sweeps_done = options.sweeps;
     report.updates = static_cast<long long>(options.sweeps) *
@@ -260,6 +269,8 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
     DirectionPlan fallback(options, n, team);
     if (team != workers) my_plan = &fallback;
     const std::uint64_t my_total = my_plan->total_updates(id, options.sweeps);
+    const std::uint64_t stride = static_cast<std::uint64_t>(
+        std::max<index_t>(my_plan->per_sweep(id), 1));
     std::uint64_t k = 0;
     while (!stop.load(std::memory_order_acquire)) {
       WallTimer round_timer;
@@ -268,6 +279,12 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
         update(id, my_plan->pick(id, k));
         ++k;
         ++done_this_round;
+        // Once per sweep-equivalent, let the scheduler rotate workers: on an
+        // oversubscribed host a round's time budget is otherwise consumed by
+        // one worker at a time, freezing the other partitions for the whole
+        // round (catastrophic for owner-computes randomization).
+        if (team > 1 && done_this_round % stride == 0)
+          std::this_thread::yield();
         // Clock checks are cheap but not free; amortize over 32 updates.
         if ((done_this_round & 31u) == 0 &&
             round_timer.seconds() >= options.sync_interval_seconds)

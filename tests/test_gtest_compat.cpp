@@ -1,0 +1,127 @@
+// Pins down the GoogleTest behaviours the rest of the suite depends on, so
+// the vendored minigtest shim cannot drift from the real thing: this file
+// compiles and must pass against BOTH providers (the CI runs each).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using asyrgs_index_t = std::int64_t;
+
+// --- floating-point semantics ----------------------------------------------
+
+TEST(GtestCompat, DoubleEqUsesUlpsNotEpsilon) {
+  // Classic case: exact decimal arithmetic differs by 1 ULP.
+  EXPECT_DOUBLE_EQ(0.1 + 0.2, 0.3);
+  // Sign of zero is ignored.
+  EXPECT_DOUBLE_EQ(0.0, -0.0);
+  // Adjacent representable values are equal under the 4-ULP rule...
+  const double x = 1.0;
+  const double next = std::nextafter(x, 2.0);
+  EXPECT_DOUBLE_EQ(x, next);
+}
+
+TEST(GtestCompat, NearIsAnAbsoluteBound) {
+  EXPECT_NEAR(100.0, 100.5, 0.5);  // boundary inclusive
+  EXPECT_NEAR(-1.0, 1.0, 2.0);
+}
+
+// --- exception assertions ---------------------------------------------------
+
+TEST(GtestCompat, ThrowMatchesBaseClasses) {
+  EXPECT_THROW(throw std::out_of_range("x"), std::logic_error);
+  EXPECT_THROW(throw std::out_of_range("x"), std::exception);
+}
+
+TEST(GtestCompat, ThrowStatementMayContainCommasInsideParens) {
+  auto f = [](int, int) { throw std::runtime_error("boom"); };
+  EXPECT_THROW(f(1, 2), std::runtime_error);
+}
+
+// --- assertion operands evaluated exactly once ------------------------------
+
+TEST(GtestCompat, OperandsEvaluateExactlyOnce) {
+  int eq_calls = 0, lt_calls = 0, near_calls = 0;
+  auto bump = [](int& counter) {
+    ++counter;
+    return counter;
+  };
+  EXPECT_EQ(bump(eq_calls), 1);
+  EXPECT_LT(0, bump(lt_calls));
+  EXPECT_NEAR(static_cast<double>(bump(near_calls)), 1.0, 0.5);
+  EXPECT_EQ(eq_calls, 1);
+  EXPECT_EQ(lt_calls, 1);
+  EXPECT_EQ(near_calls, 1);
+}
+
+// --- containers and streamed messages ---------------------------------------
+
+TEST(GtestCompat, VectorsCompareElementwise) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{1, 2, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a == b) << "vector comparison with streamed context " << 7;
+}
+
+// --- fixtures ----------------------------------------------------------------
+
+class CompatFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { state_.push_back(42); }
+  std::vector<int> state_;
+};
+
+TEST_F(CompatFixture, SetUpRunsBeforeBody) {
+  ASSERT_EQ(state_.size(), 1u);
+  EXPECT_EQ(state_.front(), 42);
+}
+
+// --- parameterized suites ----------------------------------------------------
+
+class CompatParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompatParamTest, ParamIsOneOfTheValues) {
+  const int p = GetParam();
+  EXPECT_TRUE(p == 2 || p == 4 || p == 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, CompatParamTest, ::testing::Values(2, 4, 8));
+
+// Explicit template argument on Values, as used by test_rgs / test_theorem_*.
+class CompatWideParamTest
+    : public ::testing::TestWithParam<asyrgs_index_t> {};
+
+TEST_P(CompatWideParamTest, ValuesCoerceToParamType) {
+  EXPECT_GE(GetParam(), asyrgs_index_t{40});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompatWideParamTest,
+                         ::testing::Values<asyrgs_index_t>(40, 100));
+
+// Combine with mixed element types, as used by test_rgs.
+class CompatComboTest
+    : public ::testing::TestWithParam<std::tuple<asyrgs_index_t, double>> {};
+
+TEST_P(CompatComboTest, FullCrossProductIsInstantiated) {
+  const auto [n, step] = GetParam();
+  EXPECT_TRUE(n == 40 || n == 100);
+  EXPECT_TRUE(step == 0.5 || step == 1.0 || step == 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompatComboTest,
+    ::testing::Combine(::testing::Values<asyrgs_index_t>(40, 100),
+                       ::testing::Values(0.5, 1.0, 1.5)));
+
+// Distinct parameter values reach distinct test instances: every value in
+// the Values() list must be observed by exactly one case. Each case checks
+// membership; the cross-instance count is validated by minigtest_selftest
+// (execution ordering of param vs plain tests differs between providers, so
+// a same-binary accumulator check would be fragile here).
+
+}  // namespace

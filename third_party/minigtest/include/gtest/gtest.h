@@ -1,0 +1,18 @@
+// minigtest — a self-contained, vendored GoogleTest-compatible shim.
+//
+// Provides the subset of <gtest/gtest.h> this repository's suites use:
+//   TEST, TEST_F, TEST_P, INSTANTIATE_TEST_SUITE_P,
+//   ::testing::Test, ::testing::TestWithParam, Values, ValuesIn, Combine,
+//   EXPECT_*/ASSERT_* (boolean, relational, floating-point, NEAR, THROW),
+//   streamed failure messages, and a gtest_main with --gtest_filter /
+//   --gtest_list_tests.
+//
+// The build links the real GoogleTest when one is installed; this shim is
+// selected automatically otherwise so the test suite never needs network
+// access. Keep additions source-compatible with GoogleTest.
+#pragma once
+
+#include "minigtest/assert.hpp"    // IWYU pragma: export
+#include "minigtest/param.hpp"     // IWYU pragma: export
+#include "minigtest/print.hpp"     // IWYU pragma: export
+#include "minigtest/registry.hpp"  // IWYU pragma: export

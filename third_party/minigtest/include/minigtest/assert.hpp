@@ -1,0 +1,354 @@
+// minigtest — assertion machinery.
+//
+// AssertionResult / Message / AssertHelper reproduce the GoogleTest failure
+// pipeline closely enough that `EXPECT_EQ(a, b) << "context " << i;` works:
+// the comparison helper produces an AssertionResult, the macro routes a
+// failing result into an AssertHelper, and user-streamed context binds to the
+// Message *before* AssertHelper::operator= records the failure.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "minigtest/print.hpp"
+
+namespace testing {
+
+class Message {
+ public:
+  Message() = default;
+
+  template <typename T>
+  Message& operator<<(const T& value) {
+    if constexpr (internal::IsStreamable<std::decay_t<T>>::value) {
+      stream_ << value;
+    } else {
+      internal::PrintValue(value, stream_);
+    }
+    return *this;
+  }
+
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+class AssertionResult {
+ public:
+  explicit AssertionResult(bool success) : success_(success) {}
+
+  explicit operator bool() const { return success_; }
+  AssertionResult operator!() const {
+    AssertionResult negated(!success_);
+    negated.message_ = message_;
+    return negated;
+  }
+
+  const std::string& message() const { return message_; }
+
+  template <typename T>
+  AssertionResult& operator<<(const T& value) {
+    std::ostringstream os;
+    if constexpr (internal::IsStreamable<std::decay_t<T>>::value) {
+      os << value;
+    } else {
+      internal::PrintValue(value, os);
+    }
+    message_ += os.str();
+    return *this;
+  }
+
+ private:
+  bool success_;
+  std::string message_;
+};
+
+inline AssertionResult AssertionSuccess() { return AssertionResult(true); }
+inline AssertionResult AssertionFailure() { return AssertionResult(false); }
+
+namespace internal {
+
+enum class FailureKind { kNonFatal, kFatal };
+
+// Implemented in minigtest.cpp: records the failure against the running test
+// and prints it immediately.
+void ReportFailure(FailureKind kind, const char* file, int line,
+                   const std::string& message);
+
+class AssertHelper {
+ public:
+  AssertHelper(FailureKind kind, const char* file, int line,
+               std::string summary)
+      : kind_(kind), file_(file), line_(line), summary_(std::move(summary)) {}
+
+  // The `= Message() << ...` pattern: by the time operator= runs, the
+  // message holds every user-streamed operand.
+  void operator=(const Message& message) const {
+    std::string text = summary_;
+    const std::string user = message.str();
+    if (!user.empty()) {
+      text += "\n";
+      text += user;
+    }
+    ReportFailure(kind_, file_, line_, text);
+  }
+
+ private:
+  FailureKind kind_;
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+// --- comparison helpers -----------------------------------------------------
+
+template <typename A, typename B>
+AssertionResult CmpHelperOp(const char* op, bool ok, const char* lhs_expr,
+                            const char* rhs_expr, const A& lhs, const B& rhs) {
+  if (ok) return AssertionSuccess();
+  return AssertionFailure() << "Expected: (" << lhs_expr << ") " << op << " ("
+                            << rhs_expr << "), actual: " << PrintToString(lhs)
+                            << " vs " << PrintToString(rhs);
+}
+
+template <typename A, typename B>
+AssertionResult CmpHelperEQ(const char* lhs_expr, const char* rhs_expr,
+                            const A& lhs, const B& rhs) {
+  if (lhs == rhs) return AssertionSuccess();
+  return AssertionFailure() << "Expected equality of these values:\n  "
+                            << lhs_expr << "\n    Which is: "
+                            << PrintToString(lhs) << "\n  " << rhs_expr
+                            << "\n    Which is: " << PrintToString(rhs);
+}
+
+template <typename A, typename B>
+AssertionResult CmpHelperNE(const char* lhs_expr, const char* rhs_expr,
+                            const A& lhs, const B& rhs) {
+  return CmpHelperOp("!=", lhs != rhs, lhs_expr, rhs_expr, lhs, rhs);
+}
+template <typename A, typename B>
+AssertionResult CmpHelperLT(const char* lhs_expr, const char* rhs_expr,
+                            const A& lhs, const B& rhs) {
+  return CmpHelperOp("<", lhs < rhs, lhs_expr, rhs_expr, lhs, rhs);
+}
+template <typename A, typename B>
+AssertionResult CmpHelperLE(const char* lhs_expr, const char* rhs_expr,
+                            const A& lhs, const B& rhs) {
+  return CmpHelperOp("<=", lhs <= rhs, lhs_expr, rhs_expr, lhs, rhs);
+}
+template <typename A, typename B>
+AssertionResult CmpHelperGT(const char* lhs_expr, const char* rhs_expr,
+                            const A& lhs, const B& rhs) {
+  return CmpHelperOp(">", lhs > rhs, lhs_expr, rhs_expr, lhs, rhs);
+}
+template <typename A, typename B>
+AssertionResult CmpHelperGE(const char* lhs_expr, const char* rhs_expr,
+                            const A& lhs, const B& rhs) {
+  return CmpHelperOp(">=", lhs >= rhs, lhs_expr, rhs_expr, lhs, rhs);
+}
+
+inline AssertionResult CmpHelperBool(const char* expr, bool value,
+                                     bool expected) {
+  if (value == expected) return AssertionSuccess();
+  return AssertionFailure() << "Value of: " << expr
+                            << "\n  Actual: " << (value ? "true" : "false")
+                            << "\nExpected: " << (expected ? "true" : "false");
+}
+
+// GoogleTest-compatible almost-equality: at most 4 ULPs apart.
+template <typename Float>
+bool AlmostEquals(Float lhs, Float rhs) {
+  if (std::isnan(lhs) || std::isnan(rhs)) return false;
+  using Bits = std::conditional_t<sizeof(Float) == 8, std::uint64_t,
+                                  std::uint32_t>;
+  constexpr Bits kSignBit = Bits{1} << (sizeof(Float) * 8 - 1);
+  const auto to_biased = [](Float f) {
+    Bits bits;
+    std::memcpy(&bits, &f, sizeof(Float));
+    return (bits & kSignBit) ? ~bits + 1 : bits | kSignBit;
+  };
+  const Bits a = to_biased(lhs);
+  const Bits b = to_biased(rhs);
+  const Bits distance = a >= b ? a - b : b - a;
+  return distance <= 4;
+}
+
+template <typename Float>
+AssertionResult CmpHelperFloatingEQ(const char* lhs_expr, const char* rhs_expr,
+                                    Float lhs, Float rhs) {
+  if (AlmostEquals(lhs, rhs)) return AssertionSuccess();
+  return AssertionFailure() << "Expected equality of these values:\n  "
+                            << lhs_expr << "\n    Which is: "
+                            << PrintToString(lhs) << "\n  " << rhs_expr
+                            << "\n    Which is: " << PrintToString(rhs);
+}
+
+inline AssertionResult CmpHelperNear(const char* lhs_expr, const char* rhs_expr,
+                                     const char* abs_expr, double lhs,
+                                     double rhs, double abs_error) {
+  const double diff = std::fabs(lhs - rhs);
+  if (diff <= abs_error) return AssertionSuccess();
+  return AssertionFailure() << "The difference between " << lhs_expr << " and "
+                            << rhs_expr << " is " << PrintToString(diff)
+                            << ", which exceeds " << abs_expr << ", where\n"
+                            << lhs_expr << " evaluates to "
+                            << PrintToString(lhs) << ",\n"
+                            << rhs_expr << " evaluates to "
+                            << PrintToString(rhs) << ", and\n"
+                            << abs_expr << " evaluates to "
+                            << PrintToString(abs_error) << ".";
+}
+
+}  // namespace internal
+}  // namespace testing
+
+// --- macro layer ------------------------------------------------------------
+
+#define MGT_AMBIGUOUS_ELSE_BLOCKER_ \
+  switch (0)                        \
+  case 0:                           \
+  default:
+
+#define MGT_NONFATAL_FAILURE_(summary)                                      \
+  ::testing::internal::AssertHelper(                                        \
+      ::testing::internal::FailureKind::kNonFatal, __FILE__, __LINE__,      \
+      summary) = ::testing::Message()
+
+#define MGT_FATAL_FAILURE_(summary)                                         \
+  return ::testing::internal::AssertHelper(                                 \
+             ::testing::internal::FailureKind::kFatal, __FILE__, __LINE__,  \
+             summary) = ::testing::Message()
+
+#define MGT_ASSERT_(expression, fail_macro)                          \
+  MGT_AMBIGUOUS_ELSE_BLOCKER_                                        \
+  if (const ::testing::AssertionResult mgt_ar_ = (expression))       \
+    ;                                                                \
+  else                                                               \
+    fail_macro(mgt_ar_.message())
+
+#define EXPECT_TRUE(condition)                                                \
+  MGT_ASSERT_(::testing::internal::CmpHelperBool(                             \
+                  #condition, static_cast<bool>(condition), true),            \
+              MGT_NONFATAL_FAILURE_)
+#define EXPECT_FALSE(condition)                                               \
+  MGT_ASSERT_(::testing::internal::CmpHelperBool(                             \
+                  #condition, static_cast<bool>(condition), false),           \
+              MGT_NONFATAL_FAILURE_)
+#define ASSERT_TRUE(condition)                                                \
+  MGT_ASSERT_(::testing::internal::CmpHelperBool(                             \
+                  #condition, static_cast<bool>(condition), true),            \
+              MGT_FATAL_FAILURE_)
+#define ASSERT_FALSE(condition)                                               \
+  MGT_ASSERT_(::testing::internal::CmpHelperBool(                             \
+                  #condition, static_cast<bool>(condition), false),           \
+              MGT_FATAL_FAILURE_)
+
+#define MGT_CMP_(helper, lhs, rhs, fail_macro)                              \
+  MGT_ASSERT_(::testing::internal::helper(#lhs, #rhs, lhs, rhs), fail_macro)
+
+#define EXPECT_EQ(lhs, rhs) MGT_CMP_(CmpHelperEQ, lhs, rhs, MGT_NONFATAL_FAILURE_)
+#define EXPECT_NE(lhs, rhs) MGT_CMP_(CmpHelperNE, lhs, rhs, MGT_NONFATAL_FAILURE_)
+#define EXPECT_LT(lhs, rhs) MGT_CMP_(CmpHelperLT, lhs, rhs, MGT_NONFATAL_FAILURE_)
+#define EXPECT_LE(lhs, rhs) MGT_CMP_(CmpHelperLE, lhs, rhs, MGT_NONFATAL_FAILURE_)
+#define EXPECT_GT(lhs, rhs) MGT_CMP_(CmpHelperGT, lhs, rhs, MGT_NONFATAL_FAILURE_)
+#define EXPECT_GE(lhs, rhs) MGT_CMP_(CmpHelperGE, lhs, rhs, MGT_NONFATAL_FAILURE_)
+#define ASSERT_EQ(lhs, rhs) MGT_CMP_(CmpHelperEQ, lhs, rhs, MGT_FATAL_FAILURE_)
+#define ASSERT_NE(lhs, rhs) MGT_CMP_(CmpHelperNE, lhs, rhs, MGT_FATAL_FAILURE_)
+#define ASSERT_LT(lhs, rhs) MGT_CMP_(CmpHelperLT, lhs, rhs, MGT_FATAL_FAILURE_)
+#define ASSERT_LE(lhs, rhs) MGT_CMP_(CmpHelperLE, lhs, rhs, MGT_FATAL_FAILURE_)
+#define ASSERT_GT(lhs, rhs) MGT_CMP_(CmpHelperGT, lhs, rhs, MGT_FATAL_FAILURE_)
+#define ASSERT_GE(lhs, rhs) MGT_CMP_(CmpHelperGE, lhs, rhs, MGT_FATAL_FAILURE_)
+
+#define EXPECT_DOUBLE_EQ(lhs, rhs)                                            \
+  MGT_ASSERT_(::testing::internal::CmpHelperFloatingEQ<double>(#lhs, #rhs,    \
+                                                               lhs, rhs),     \
+              MGT_NONFATAL_FAILURE_)
+#define ASSERT_DOUBLE_EQ(lhs, rhs)                                            \
+  MGT_ASSERT_(::testing::internal::CmpHelperFloatingEQ<double>(#lhs, #rhs,    \
+                                                               lhs, rhs),     \
+              MGT_FATAL_FAILURE_)
+#define EXPECT_FLOAT_EQ(lhs, rhs)                                             \
+  MGT_ASSERT_(::testing::internal::CmpHelperFloatingEQ<float>(#lhs, #rhs,     \
+                                                              lhs, rhs),      \
+              MGT_NONFATAL_FAILURE_)
+#define ASSERT_FLOAT_EQ(lhs, rhs)                                             \
+  MGT_ASSERT_(::testing::internal::CmpHelperFloatingEQ<float>(#lhs, #rhs,     \
+                                                              lhs, rhs),      \
+              MGT_FATAL_FAILURE_)
+
+#define EXPECT_NEAR(lhs, rhs, abs_error)                                      \
+  MGT_ASSERT_(::testing::internal::CmpHelperNear(#lhs, #rhs, #abs_error, lhs, \
+                                                 rhs, abs_error),             \
+              MGT_NONFATAL_FAILURE_)
+#define ASSERT_NEAR(lhs, rhs, abs_error)                                      \
+  MGT_ASSERT_(::testing::internal::CmpHelperNear(#lhs, #rhs, #abs_error, lhs, \
+                                                 rhs, abs_error),             \
+              MGT_FATAL_FAILURE_)
+
+#define MGT_THROW_RESULT_(statement, expected_exception)                      \
+  [&]() -> ::testing::AssertionResult {                                       \
+    try {                                                                     \
+      statement;                                                              \
+    } catch (const expected_exception&) {                                     \
+      return ::testing::AssertionSuccess();                                   \
+    } catch (...) {                                                           \
+      return ::testing::AssertionFailure()                                    \
+             << "Expected: " #statement " throws an exception of type "       \
+                #expected_exception ".\n  Actual: it throws a different "     \
+                "type.";                                                      \
+    }                                                                         \
+    return ::testing::AssertionFailure()                                      \
+           << "Expected: " #statement " throws an exception of type "         \
+              #expected_exception ".\n  Actual: it throws nothing.";          \
+  }()
+
+#define EXPECT_THROW(statement, expected_exception)                           \
+  MGT_ASSERT_(MGT_THROW_RESULT_(statement, expected_exception),               \
+              MGT_NONFATAL_FAILURE_)
+#define ASSERT_THROW(statement, expected_exception)                           \
+  MGT_ASSERT_(MGT_THROW_RESULT_(statement, expected_exception),               \
+              MGT_FATAL_FAILURE_)
+
+#define MGT_NO_THROW_RESULT_(statement)                                       \
+  [&]() -> ::testing::AssertionResult {                                       \
+    try {                                                                     \
+      statement;                                                              \
+    } catch (...) {                                                           \
+      return ::testing::AssertionFailure()                                    \
+             << "Expected: " #statement " does not throw.\n  Actual: it "     \
+                "throws.";                                                    \
+    }                                                                         \
+    return ::testing::AssertionSuccess();                                     \
+  }()
+
+#define EXPECT_NO_THROW(statement) \
+  MGT_ASSERT_(MGT_NO_THROW_RESULT_(statement), MGT_NONFATAL_FAILURE_)
+#define ASSERT_NO_THROW(statement) \
+  MGT_ASSERT_(MGT_NO_THROW_RESULT_(statement), MGT_FATAL_FAILURE_)
+
+#define MGT_ANY_THROW_RESULT_(statement)                                      \
+  [&]() -> ::testing::AssertionResult {                                       \
+    try {                                                                     \
+      statement;                                                              \
+    } catch (...) {                                                           \
+      return ::testing::AssertionSuccess();                                   \
+    }                                                                         \
+    return ::testing::AssertionFailure()                                      \
+           << "Expected: " #statement " throws.\n  Actual: it throws "        \
+              "nothing.";                                                     \
+  }()
+
+#define EXPECT_ANY_THROW(statement) \
+  MGT_ASSERT_(MGT_ANY_THROW_RESULT_(statement), MGT_NONFATAL_FAILURE_)
+#define ASSERT_ANY_THROW(statement) \
+  MGT_ASSERT_(MGT_ANY_THROW_RESULT_(statement), MGT_FATAL_FAILURE_)
+
+#define ADD_FAILURE() MGT_NONFATAL_FAILURE_("Failed")
+#define FAIL() MGT_FATAL_FAILURE_("Failed")
+#define SUCCEED() ::testing::Message()

@@ -1,0 +1,209 @@
+// minigtest — value-parameterized tests.
+//
+// TEST_P registers a factory against its suite class; INSTANTIATE_TEST_SUITE_P
+// registers a prefix plus a materialized value vector. Both happen during
+// static initialization in either order; the cross product is expanded into
+// concrete "Prefix/Suite.Name/index" tests lazily, right before the first
+// run. Values()/Combine() return conversion-friendly holders so that
+// `Values<index_t>(40, 100)` and `Combine(Values(...), Values(...))` coerce to
+// the suite's ParamType exactly like the GoogleTest originals.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "minigtest/registry.hpp"
+
+namespace testing {
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+
+  static const ParamType& GetParam() { return *current_param_; }
+
+  // Runner hook: points at the instantiation's stored value for the duration
+  // of one test; the storage lives in the ParamRegistry singleton.
+  static void set_current_param(const ParamType* param) {
+    current_param_ = param;
+  }
+
+ private:
+  static inline const ParamType* current_param_ = nullptr;
+};
+
+namespace internal {
+
+template <typename T>
+class ParamGenerator {
+ public:
+  explicit ParamGenerator(std::vector<T> values) : values_(std::move(values)) {}
+  const std::vector<T>& values() const { return values_; }
+
+ private:
+  std::vector<T> values_;
+};
+
+template <typename... Ts>
+class ValueArray {
+ public:
+  explicit ValueArray(Ts... values) : values_(std::move(values)...) {}
+
+  template <typename T>
+  operator ParamGenerator<T>() const {  // NOLINT(google-explicit-constructor)
+    return ParamGenerator<T>(std::apply(
+        [](const auto&... value) {
+          return std::vector<T>{static_cast<T>(value)...};
+        },
+        values_));
+  }
+
+ private:
+  std::tuple<Ts...> values_;
+};
+
+template <typename... Gens>
+class CartesianProductHolder {
+ public:
+  explicit CartesianProductHolder(Gens... gens) : gens_(std::move(gens)...) {}
+
+  template <typename... Us>
+  operator ParamGenerator<std::tuple<Us...>>() const {  // NOLINT
+    static_assert(sizeof...(Us) == sizeof...(Gens),
+                  "Combine() arity must match the tuple ParamType arity");
+    return expand<Us...>(std::index_sequence_for<Us...>{});
+  }
+
+ private:
+  template <typename... Us, std::size_t... Is>
+  ParamGenerator<std::tuple<Us...>> expand(std::index_sequence<Is...>) const {
+    const auto axes = std::make_tuple(
+        static_cast<ParamGenerator<Us>>(std::get<Is>(gens_)).values()...);
+    std::vector<std::tuple<Us...>> product;
+    std::size_t total = 1;
+    ((total *= std::get<Is>(axes).size()), ...);
+    product.reserve(total);
+    // Odometer over the axes: the first generator varies slowest, matching
+    // GoogleTest's enumeration order.
+    std::array<std::size_t, sizeof...(Us)> index{};
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      product.emplace_back(std::get<Is>(axes)[index[Is]]...);
+      for (std::size_t axis = sizeof...(Us); axis-- > 0;) {
+        const std::size_t sizes[] = {std::get<Is>(axes).size()...};
+        if (++index[axis] < sizes[axis]) break;
+        index[axis] = 0;
+      }
+    }
+    return ParamGenerator<std::tuple<Us...>>(std::move(product));
+  }
+
+  std::tuple<Gens...> gens_;
+};
+
+// Per-suite-class singleton connecting TEST_P registrations with
+// INSTANTIATE_TEST_SUITE_P value sets.
+template <typename SuiteClass>
+class ParamRegistry {
+ public:
+  using ParamType = typename SuiteClass::ParamType;
+  using Factory = Test* (*)();
+
+  static ParamRegistry& instance() {
+    static ParamRegistry registry;
+    return registry;
+  }
+
+  bool add_test(const char* suite_name, const char* test_name,
+                Factory factory) {
+    tests_.push_back(TestEntry{suite_name, test_name, factory});
+    return true;
+  }
+
+  bool add_instantiation(const char* prefix, std::vector<ParamType> values) {
+    instantiations_.push_back(Instantiation{prefix, std::move(values)});
+    return true;
+  }
+
+ private:
+  struct TestEntry {
+    std::string suite;
+    std::string name;
+    Factory factory;
+  };
+  struct Instantiation {
+    std::string prefix;
+    std::vector<ParamType> values;
+  };
+
+  ParamRegistry() {
+    UnitTest::instance().add_materializer([this]() { materialize(); });
+  }
+
+  void materialize() {
+    for (const Instantiation& inst : instantiations_) {
+      for (std::size_t i = 0; i < inst.values.size(); ++i) {
+        const ParamType* param = &inst.values[i];
+        for (const TestEntry& test : tests_) {
+          UnitTest::instance().register_test(
+              inst.prefix + "/" + test.suite,
+              test.name + "/" + std::to_string(i),
+              [factory = test.factory, param]() -> Test* {
+                TestWithParam<ParamType>::set_current_param(param);
+                return factory();
+              });
+        }
+      }
+    }
+  }
+
+  std::vector<TestEntry> tests_;
+  std::vector<Instantiation> instantiations_;
+};
+
+}  // namespace internal
+
+template <typename... Ts>
+internal::ValueArray<Ts...> Values(Ts... values) {
+  return internal::ValueArray<Ts...>(std::move(values)...);
+}
+
+template <typename... Gens>
+internal::CartesianProductHolder<Gens...> Combine(Gens... gens) {
+  return internal::CartesianProductHolder<Gens...>(std::move(gens)...);
+}
+
+template <typename T>
+internal::ParamGenerator<T> ValuesIn(std::vector<T> values) {
+  return internal::ParamGenerator<T>(std::move(values));
+}
+
+}  // namespace testing
+
+#define TEST_P(suite, name)                                                  \
+  class MGT_TEST_CLASS_NAME_(suite, name) : public suite {                   \
+   public:                                                                   \
+    void TestBody() override;                                                \
+  };                                                                         \
+  [[maybe_unused]] static const bool mgt_param_registered_##suite##_##name = \
+      ::testing::internal::ParamRegistry<suite>::instance().add_test(        \
+          #suite, #name, []() -> ::testing::Test* {                          \
+            return new MGT_TEST_CLASS_NAME_(suite, name);                    \
+          });                                                                \
+  void MGT_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                         \
+  [[maybe_unused]] static const bool mgt_instantiated_##prefix##_##suite =   \
+      ::testing::internal::ParamRegistry<suite>::instance()                  \
+          .add_instantiation(                                                \
+              #prefix,                                                       \
+              static_cast<::testing::internal::ParamGenerator<               \
+                  typename suite::ParamType>>(__VA_ARGS__)                   \
+                  .values())
+
+// Pre-2018 GoogleTest spelling, kept for source compatibility.
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P

@@ -1,0 +1,109 @@
+// minigtest — value printing for assertion messages.
+//
+// Mirrors the useful subset of GoogleTest's universal printer: booleans as
+// true/false, floating point at full round-trip precision, strings quoted,
+// enums as their underlying integer, tuples and containers element-wise, and
+// a byte-count fallback for everything else.
+#pragma once
+
+#include <cstddef>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+namespace testing {
+namespace internal {
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct IsContainer : std::false_type {};
+template <typename T>
+struct IsContainer<T, std::void_t<decltype(std::begin(std::declval<const T&>())),
+                                  decltype(std::end(std::declval<const T&>()))>>
+    : std::true_type {};
+
+template <typename T>
+struct IsTuple : std::false_type {};
+template <typename... Ts>
+struct IsTuple<std::tuple<Ts...>> : std::true_type {};
+template <typename A, typename B>
+struct IsTuple<std::pair<A, B>> : std::true_type {};
+
+template <typename T>
+void PrintValue(const T& value, std::ostream& os);
+
+inline void PrintStringLiteral(const std::string& s, std::ostream& os) {
+  os << '"' << s << '"';
+}
+
+template <typename Tuple, std::size_t... Is>
+void PrintTupleTo(const Tuple& t, std::ostream& os, std::index_sequence<Is...>) {
+  os << '(';
+  ((os << (Is == 0 ? "" : ", "), PrintValue(std::get<Is>(t), os)), ...);
+  os << ')';
+}
+
+template <typename T>
+void PrintValue(const T& value, std::ostream& os) {
+  using D = std::decay_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    os << (value ? "true" : "false");
+  } else if constexpr (std::is_same_v<D, char>) {
+    os << '\'' << value << '\'';
+  } else if constexpr (std::is_floating_point_v<D>) {
+    const auto saved = os.precision();
+    os << std::setprecision(std::numeric_limits<D>::max_digits10) << value
+       << std::setprecision(static_cast<int>(saved));
+  } else if constexpr (std::is_enum_v<D>) {
+    os << static_cast<long long>(value);
+  } else if constexpr (std::is_same_v<D, std::string> ||
+                       std::is_same_v<D, const char*> ||
+                       std::is_same_v<D, char*>) {
+    PrintStringLiteral(value, os);
+  } else if constexpr (IsTuple<D>::value) {
+    PrintTupleTo(value, os,
+                 std::make_index_sequence<std::tuple_size_v<D>>{});
+  } else if constexpr (IsStreamable<D>::value) {
+    os << value;
+  } else if constexpr (IsContainer<D>::value) {
+    os << "{ ";
+    std::size_t count = 0;
+    for (const auto& element : value) {
+      if (count > 0) os << ", ";
+      if (count >= 32) {
+        os << "...";
+        break;
+      }
+      PrintValue(element, os);
+      ++count;
+    }
+    os << " }";
+  } else {
+    os << sizeof(T) << "-byte object <unprintable>";
+  }
+}
+
+template <typename T>
+std::string PrintToString(const T& value) {
+  std::ostringstream os;
+  PrintValue(value, os);
+  return os.str();
+}
+
+}  // namespace internal
+
+// Public alias matching ::testing::PrintToString.
+using internal::PrintToString;
+
+}  // namespace testing

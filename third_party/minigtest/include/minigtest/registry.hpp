@@ -1,0 +1,92 @@
+// minigtest — test registration and the UnitTest singleton interface.
+//
+// TEST/TEST_F expand to a class whose static registrar hands a factory to the
+// UnitTest singleton at static-initialization time; the runner (minigtest.cpp)
+// drives ctor → SetUp → TestBody → TearDown → dtor and tallies failures.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "minigtest/assert.hpp"
+
+namespace testing {
+
+class Test {
+ public:
+  Test() = default;
+  Test(const Test&) = delete;
+  Test& operator=(const Test&) = delete;
+  virtual ~Test() = default;
+
+  virtual void TestBody() = 0;
+
+  // Public (GoogleTest has these protected behind friend machinery) so the
+  // runner can drive the SetUp → TestBody → TearDown protocol; access is
+  // checked against this base even when overrides are protected.
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+};
+
+class UnitTest {
+ public:
+  static UnitTest& instance();
+
+  // GoogleTest-compatible spelling.
+  static UnitTest* GetInstance() { return &instance(); }
+
+  bool register_test(std::string suite, std::string name,
+                     std::function<Test*()> factory);
+  bool add_materializer(std::function<void()> materializer);
+
+  // Runs every registered test whose "Suite.Name" matches `filter`
+  // (GoogleTest --gtest_filter syntax: ':'-separated glob patterns, with an
+  // optional '-'-prefixed negative section). Returns the number of failed
+  // tests and prints a GoogleTest-style report.
+  int run(const std::string& filter = "*");
+
+  // Counters describing the most recent run(); used by the self-test suite.
+  int last_run_count() const;
+  int last_failed_count() const;
+
+  void set_default_filter(std::string filter);
+  const std::string& default_filter() const;
+  void list_tests();
+
+  // Called by internal::ReportFailure to mark the running test as failed.
+  void impl_failed_hook();
+
+ private:
+  UnitTest();
+  ~UnitTest();
+  struct Impl;
+  Impl* impl_;
+};
+
+// Legacy spelling kept so existing `int main` bodies work unchanged.
+void InitGoogleTest(int* argc, char** argv);
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() {
+  ::testing::UnitTest& unit = ::testing::UnitTest::instance();
+  return unit.run(unit.default_filter()) == 0 ? 0 : 1;
+}
+
+#define MGT_TEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+#define MGT_TEST_(suite, name, parent)                                   \
+  class MGT_TEST_CLASS_NAME_(suite, name) : public parent {              \
+   public:                                                               \
+    void TestBody() override;                                            \
+  };                                                                     \
+  [[maybe_unused]] static const bool mgt_registered_##suite##_##name =   \
+      ::testing::UnitTest::instance().register_test(                     \
+          #suite, #name, []() -> ::testing::Test* {                      \
+            return new MGT_TEST_CLASS_NAME_(suite, name);                \
+          });                                                            \
+  void MGT_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MGT_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MGT_TEST_(fixture, name, fixture)

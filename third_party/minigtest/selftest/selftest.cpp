@@ -1,0 +1,155 @@
+// minigtest self-test: validates the shim's own machinery with a custom
+// main() that runs filtered slices of the registry and checks the counters.
+//
+// Covered:
+//   - passing expectations leave a test green
+//   - failing EXPECT_* / ASSERT_* mark a test red (and ASSERT_* aborts the
+//     rest of the test body)
+//   - EXPECT_THROW catches the right type, flags the wrong type / no throw
+//   - TEST_P × INSTANTIATE_TEST_SUITE_P expands to the expected test count,
+//     including Combine() cross products, with per-instance parameter values
+//   - --gtest_filter-style pattern selection picks the right subset
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+int meta_failures = 0;
+
+#define META_CHECK(condition)                                            \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::printf("META FAILURE at %s:%d: %s\n", __FILE__, __LINE__,     \
+                  #condition);                                           \
+      ++meta_failures;                                                   \
+    }                                                                    \
+  } while (0)
+
+// --- subject tests (selected via filters from main, never run wholesale) ---
+
+int g_assert_abort_probe = 0;
+
+TEST(SelfPass, Arithmetic) {
+  EXPECT_EQ(2 + 2, 4);
+  EXPECT_NE(1, 2);
+  EXPECT_LT(1.0, 2.0);
+  EXPECT_NEAR(1.0, 1.0 + 1e-9, 1e-8);
+  EXPECT_DOUBLE_EQ(0.1 + 0.2, 0.3);  // 4-ULP semantics, must pass
+  EXPECT_TRUE(true);
+  EXPECT_FALSE(false);
+}
+
+TEST(SelfPass, ThrowCaught) {
+  EXPECT_THROW(throw std::runtime_error("boom"), std::runtime_error);
+  EXPECT_THROW(throw std::out_of_range("oor"), std::logic_error);  // base ok
+  EXPECT_NO_THROW(static_cast<void>(0));
+}
+
+TEST(SelfPass, StreamedMessageCompiles) {
+  EXPECT_EQ(1, 1) << "context " << 42 << " more";
+}
+
+TEST(SelfFail, ExpectContinuesAfterFailure) {
+  EXPECT_EQ(1, 2) << "intentional";
+  EXPECT_EQ(3, 4) << "also intentional";  // must still execute
+}
+
+TEST(SelfFail, AssertAbortsTestBody) {
+  ASSERT_TRUE(false) << "intentional fatal";
+  g_assert_abort_probe = 1;  // must NOT run
+}
+
+TEST(SelfFail, ThrowWrongType) {
+  EXPECT_THROW(throw std::runtime_error("boom"), std::out_of_range);
+}
+
+TEST(SelfFail, ThrowNothingThrown) {
+  EXPECT_THROW(static_cast<void>(0), std::runtime_error);
+}
+
+TEST(SelfFail, DoubleEqIsNotSloppy) {
+  EXPECT_DOUBLE_EQ(1.0, 1.0 + 1e-9);  // far beyond 4 ULPs, must fail
+}
+
+class SelfFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { value_ = 7; }
+  int value_ = 0;
+};
+
+TEST_F(SelfFixture, SetUpRan) { EXPECT_EQ(value_, 7); }
+
+class SelfParam : public ::testing::TestWithParam<int> {};
+
+std::vector<int> g_param_values_seen;
+
+TEST_P(SelfParam, RecordsParam) {
+  g_param_values_seen.push_back(GetParam());
+  EXPECT_GE(GetParam(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SelfParam, ::testing::Values(2, 4, 8));
+
+class SelfCombo
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, double>> {};
+
+TEST_P(SelfCombo, TupleParamReadable) {
+  EXPECT_GT(std::get<0>(GetParam()), 0);
+  EXPECT_GT(std::get<1>(GetParam()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SelfCombo,
+                         ::testing::Combine(::testing::Values<std::int64_t>(
+                                                10, 20),
+                                            ::testing::Values(0.5, 1.5, 2.5)));
+
+}  // namespace
+
+int main() {
+  ::testing::UnitTest& unit = ::testing::UnitTest::instance();
+
+  // 1. Passing tests pass.
+  int failed = unit.run("SelfPass.*:SelfFixture.*");
+  META_CHECK(failed == 0);
+  META_CHECK(unit.last_run_count() == 4);
+  META_CHECK(unit.last_failed_count() == 0);
+
+  // 2. Failing expectations actually fail, one red test each.
+  failed = unit.run("SelfFail.*");
+  META_CHECK(unit.last_run_count() == 5);
+  META_CHECK(failed == 5);
+  META_CHECK(g_assert_abort_probe == 0);  // ASSERT_* returned out of the body
+
+  // 3. TEST_P instantiation: Values(2,4,8) -> 3 tests with those params.
+  g_param_values_seen.clear();
+  failed = unit.run("Sweep/SelfParam.*");
+  META_CHECK(failed == 0);
+  META_CHECK(unit.last_run_count() == 3);
+  META_CHECK((g_param_values_seen == std::vector<int>{2, 4, 8}));
+
+  // 4. Combine: 2 x 3 grid -> 6 tests.
+  failed = unit.run("Grid/SelfCombo.*");
+  META_CHECK(failed == 0);
+  META_CHECK(unit.last_run_count() == 6);
+
+  // 5. Filter selects exact tests, supports negatives.
+  unit.run("SelfPass.Arithmetic");
+  META_CHECK(unit.last_run_count() == 1);
+  unit.run("SelfPass.*-SelfPass.Arithmetic");
+  META_CHECK(unit.last_run_count() == 2);
+  unit.run("DoesNotExist.*");
+  META_CHECK(unit.last_run_count() == 0);
+
+  if (meta_failures == 0) {
+    std::printf("minigtest selftest: all meta-checks passed\n");
+    return 0;
+  }
+  std::printf("minigtest selftest: %d meta-check(s) FAILED\n", meta_failures);
+  return 1;
+}

@@ -1,0 +1,237 @@
+// minigtest — runner implementation: registry storage, --gtest_filter
+// matching, the per-test execution protocol, and GoogleTest-style reporting.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "minigtest/registry.hpp"
+
+namespace testing {
+namespace {
+
+struct RegisteredTest {
+  std::string suite;
+  std::string name;
+  std::function<Test*()> factory;
+
+  std::string full_name() const { return suite + "." + name; }
+};
+
+// Glob match with '*' (any run) and '?' (any one character), iterative
+// backtracking form.
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool MatchesAnySection(const std::string& sections, const std::string& name) {
+  std::size_t begin = 0;
+  while (begin <= sections.size()) {
+    std::size_t end = sections.find(':', begin);
+    if (end == std::string::npos) end = sections.size();
+    if (end > begin && GlobMatch(sections.substr(begin, end - begin), name)) {
+      return true;
+    }
+    begin = end + 1;
+  }
+  return false;
+}
+
+// GoogleTest filter syntax: positive patterns, then an optional '-' section
+// of negative patterns, each ':'-separated. An empty positive section means
+// "everything".
+bool MatchesFilter(const std::string& filter, const std::string& name) {
+  const std::size_t dash = filter.find('-');
+  const std::string positive =
+      dash == std::string::npos ? filter : filter.substr(0, dash);
+  const std::string negative =
+      dash == std::string::npos ? std::string() : filter.substr(dash + 1);
+  if (!positive.empty() && positive != "*" &&
+      !MatchesAnySection(positive, name)) {
+    return false;
+  }
+  if (!negative.empty() && MatchesAnySection(negative, name)) return false;
+  return true;
+}
+
+}  // namespace
+
+struct UnitTest::Impl {
+  std::vector<RegisteredTest> tests;
+  std::vector<std::function<void()>> materializers;
+  bool materialized = false;
+  std::string default_filter = "*";
+
+  int last_run = 0;
+  int last_failed = 0;
+
+  // Per-test failure state written by ReportFailure(); atomic because
+  // assertions may fail concurrently on pool worker threads inside a test
+  // body (real GoogleTest is thread-safe here too).
+  std::atomic<bool> current_failed{false};
+
+  void materialize_params() {
+    if (materialized) return;
+    materialized = true;
+    // Materializers may register tests; they must not add materializers.
+    for (const auto& materializer : materializers) materializer();
+  }
+};
+
+UnitTest::UnitTest() : impl_(new Impl) {}
+UnitTest::~UnitTest() { delete impl_; }
+
+UnitTest& UnitTest::instance() {
+  static UnitTest unit;
+  return unit;
+}
+
+bool UnitTest::register_test(std::string suite, std::string name,
+                             std::function<Test*()> factory) {
+  impl_->tests.push_back(
+      RegisteredTest{std::move(suite), std::move(name), std::move(factory)});
+  return true;
+}
+
+bool UnitTest::add_materializer(std::function<void()> materializer) {
+  impl_->materializers.push_back(std::move(materializer));
+  return true;
+}
+
+int UnitTest::last_run_count() const { return impl_->last_run; }
+int UnitTest::last_failed_count() const { return impl_->last_failed; }
+
+void UnitTest::set_default_filter(std::string filter) {
+  impl_->default_filter = std::move(filter);
+}
+const std::string& UnitTest::default_filter() const {
+  return impl_->default_filter;
+}
+
+void UnitTest::list_tests() {
+  impl_->materialize_params();
+  std::string last_suite;
+  for (const RegisteredTest& test : impl_->tests) {
+    if (test.suite != last_suite) {
+      std::printf("%s.\n", test.suite.c_str());
+      last_suite = test.suite;
+    }
+    std::printf("  %s\n", test.name.c_str());
+  }
+}
+
+namespace internal {
+
+void ReportFailure(FailureKind, const char* file, int line,
+                   const std::string& message) {
+  UnitTest::instance();  // ensure the singleton exists even pre-run
+  std::printf("%s:%d: Failure\n%s\n", file, line, message.c_str());
+  std::fflush(stdout);
+  // Fatal-ness is enforced syntactically by the ASSERT_* macros (they
+  // `return` out of the calling function); here both kinds just mark the
+  // running test as failed.
+  UnitTest::instance().impl_failed_hook();
+}
+
+}  // namespace internal
+
+// Out-of-line hook so internal::ReportFailure (above) can poke Impl without
+// exposing Impl in the header.
+void UnitTest::impl_failed_hook() { impl_->current_failed = true; }
+
+int UnitTest::run(const std::string& filter) {
+  impl_->materialize_params();
+
+  std::vector<const RegisteredTest*> selected;
+  for (const RegisteredTest& test : impl_->tests) {
+    if (MatchesFilter(filter, test.full_name())) selected.push_back(&test);
+  }
+
+  std::printf("[==========] Running %zu tests.\n", selected.size());
+  std::vector<std::string> failed_names;
+  for (const RegisteredTest* test : selected) {
+    std::printf("[ RUN      ] %s\n", test->full_name().c_str());
+    std::fflush(stdout);
+    impl_->current_failed = false;
+    try {
+      Test* instance = test->factory();
+      instance->SetUp();
+      if (!impl_->current_failed) instance->TestBody();
+      instance->TearDown();
+      delete instance;
+    } catch (const std::exception& e) {
+      std::printf("Unexpected C++ exception: %s\n", e.what());
+      impl_->current_failed = true;
+    } catch (...) {
+      std::printf("Unexpected unknown C++ exception.\n");
+      impl_->current_failed = true;
+    }
+    if (impl_->current_failed) {
+      failed_names.push_back(test->full_name());
+      std::printf("[  FAILED  ] %s\n", test->full_name().c_str());
+    } else {
+      std::printf("[       OK ] %s\n", test->full_name().c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  const int failed = static_cast<int>(failed_names.size());
+  const int passed = static_cast<int>(selected.size()) - failed;
+  std::printf("[==========] %zu tests ran.\n", selected.size());
+  std::printf("[  PASSED  ] %d tests.\n", passed);
+  if (failed > 0) {
+    std::printf("[  FAILED  ] %d tests, listed below:\n", failed);
+    for (const std::string& name : failed_names) {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+    }
+  }
+  std::fflush(stdout);
+
+  impl_->last_run = static_cast<int>(selected.size());
+  impl_->last_failed = failed;
+  return failed;
+}
+
+void InitGoogleTest(int* argc, char** argv) {
+  if (argc == nullptr) return;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string filter_prefix = "--gtest_filter=";
+    if (arg.rfind(filter_prefix, 0) == 0) {
+      UnitTest::instance().set_default_filter(arg.substr(filter_prefix.size()));
+    } else if (arg == "--gtest_list_tests") {
+      UnitTest::instance().list_tests();
+      std::exit(0);
+    } else if (arg.rfind("--gtest_", 0) == 0) {
+      // Accept-and-ignore other GoogleTest flags (color, brief, ...) so
+      // existing wrapper scripts keep working.
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+}  // namespace testing

@@ -1,0 +1,7 @@
+// minigtest — default test entry point, the shim's stand-in for gtest_main.
+#include "gtest/gtest.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,61 @@
+# CTest smoke script: asyrgs_gen -> asyrgs_solve end to end.
+#
+# Expects: ASYRGS_GEN, ASYRGS_SOLVE (tool paths), KIND (generator kind),
+# WORK_DIR (scratch directory, created fresh).
+#
+# Fails the test on a nonzero exit code from either tool, a missing matrix
+# file, or a missing/too-large "relative residual:" line from the solver.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(matrix "${WORK_DIR}/A.mtx")
+set(solution "${WORK_DIR}/x.mtx")
+
+if(KIND STREQUAL "laplacian2d")
+  set(gen_args --kind laplacian2d --nx 16 --ny 16)
+elseif(KIND STREQUAL "spd")
+  set(gen_args --kind spd --n 300)
+else()
+  message(FATAL_ERROR "unknown smoke KIND '${KIND}'")
+endif()
+
+execute_process(
+  COMMAND "${ASYRGS_GEN}" ${gen_args} --out "${matrix}"
+  RESULT_VARIABLE gen_status
+  OUTPUT_VARIABLE gen_out
+  ERROR_VARIABLE gen_err)
+if(NOT gen_status EQUAL 0)
+  message(FATAL_ERROR
+    "asyrgs_gen exited with ${gen_status}:\n${gen_out}\n${gen_err}")
+endif()
+if(NOT EXISTS "${matrix}")
+  message(FATAL_ERROR "asyrgs_gen did not write ${matrix}")
+endif()
+
+execute_process(
+  COMMAND "${ASYRGS_SOLVE}" --matrix "${matrix}" --out "${solution}"
+          --tol 1e-8 --threads 2
+  RESULT_VARIABLE solve_status
+  OUTPUT_VARIABLE solve_out
+  ERROR_VARIABLE solve_err)
+if(NOT solve_status EQUAL 0)
+  message(FATAL_ERROR
+    "asyrgs_solve exited with ${solve_status}:\n${solve_out}\n${solve_err}")
+endif()
+if(NOT EXISTS "${solution}")
+  message(FATAL_ERROR "asyrgs_solve did not write ${solution}")
+endif()
+
+set(all_output "${solve_out}\n${solve_err}")
+string(REGEX MATCH "relative residual: ([0-9.eE+-]+)" residual_line
+       "${all_output}")
+if(NOT residual_line)
+  message(FATAL_ERROR
+    "asyrgs_solve output has no 'relative residual:' line:\n${all_output}")
+endif()
+set(residual "${CMAKE_MATCH_1}")
+if(residual GREATER "1e-6")
+  message(FATAL_ERROR "residual ${residual} exceeds 1e-6")
+endif()
+
+message(STATUS "smoke ${KIND}: relative residual ${residual}")
