@@ -1,0 +1,458 @@
+// Updates/second of the asynchronous update engine, current vs the pre-PR2
+// baseline, plus the residual-check cost at synchronization points.
+//
+// This driver anchors the repo's measured performance trajectory: it emits a
+// machine-readable BENCH_<label>.json (schema documented in bench/README.md)
+// so every perf PR can record before/after numbers produced by the same
+// harness (`scripts/bench.sh`).
+//
+// The baseline is a faithful in-tree copy of the engine's hot loop as it
+// stood before the PR-2 overhaul (namespace `legacy` below): one full
+// 10-round Philox evaluation per direction draw, a runtime `atomic_writes`
+// branch per update, a 64-bit modulo per update for the yield cadence, an
+// unconditionally constructed per-worker fallback DirectionPlan, and a
+// serial residual on worker 0 at synchronization points.  Keeping the old
+// loop compilable here (rather than diffing against an old git checkout)
+// lets one binary measure both engines on identical inputs, and doubles as
+// the "generic kernel" reference for the micro-benchmarks.
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asyrgs/support/atomics.hpp"
+#include "asyrgs/support/barrier.hpp"
+#include "asyrgs/support/prng.hpp"
+#include "bench_common.hpp"
+
+using namespace asyrgs;
+using namespace asyrgs::bench;
+
+namespace legacy {
+
+/// Pre-PR2 coordinate update: runtime atomicity branch, span-based row scan.
+inline void update_coordinate(const CsrMatrix& a, const double* b, double* x,
+                              index_t r, double beta, double inv_diag,
+                              bool atomic_writes) {
+  double acc = b[r];
+  const auto cols = a.row_cols(r);
+  const auto vals = a.row_vals(r);
+  for (std::size_t t = 0; t < cols.size(); ++t)
+    acc -= vals[t] * atomic_load_relaxed(x[cols[t]]);
+  const double delta = beta * (acc * inv_diag);
+  if (atomic_writes)
+    atomic_add_relaxed(x[r], delta);
+  else
+    racy_add(x[r], delta);
+}
+
+/// Pre-PR2 direction schedule: one full Philox evaluation per pick().
+class DirectionPlan {
+ public:
+  DirectionPlan(const AsyncRgsOptions& options, index_t n, int team)
+      : n_(n), team_(team), shared_(options.seed) {}
+
+  [[nodiscard]] index_t per_sweep(int w) const {
+    return (n_ - 1 - static_cast<index_t>(w)) / team_ + 1;
+  }
+
+  [[nodiscard]] std::uint64_t total_updates(int w, int sweeps) const {
+    const std::uint64_t total = static_cast<std::uint64_t>(sweeps) *
+                                static_cast<std::uint64_t>(n_);
+    if (static_cast<std::uint64_t>(w) >= total) return 0;
+    return (total - 1 - static_cast<std::uint64_t>(w)) /
+               static_cast<std::uint64_t>(team_) +
+           1;
+  }
+
+  [[nodiscard]] index_t pick(int w, std::uint64_t k) const {
+    const std::uint64_t j =
+        static_cast<std::uint64_t>(w) + k * static_cast<std::uint64_t>(team_);
+    return shared_.index_at(j, n_);
+  }
+
+  [[nodiscard]] index_t pick_in_sweep(int w, int sweep, index_t t) const {
+    const std::uint64_t j = static_cast<std::uint64_t>(sweep) *
+                                static_cast<std::uint64_t>(n_) +
+                            static_cast<std::uint64_t>(w) +
+                            static_cast<std::uint64_t>(t) *
+                                static_cast<std::uint64_t>(team_);
+    return shared_.index_at(j, n_);
+  }
+
+ private:
+  index_t n_;
+  int team_;
+  Philox4x32 shared_;
+};
+
+/// Pre-PR2 free-running engine (shared randomization scope).
+AsyncRgsReport solve_free_running(ThreadPool& pool, const CsrMatrix& a,
+                                  const std::vector<double>& b,
+                                  std::vector<double>& x,
+                                  const AsyncRgsOptions& options) {
+  const index_t n = a.rows();
+  std::vector<double> inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = 1.0 / d;
+  const double beta = options.step_size;
+  int workers = options.workers > 0 ? options.workers : pool.size();
+  if (workers > pool.size()) workers = pool.size();
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  WallTimer timer;
+  const DirectionPlan plan(options, n, workers);
+  pool.run_team(workers, [&](int id, int team) {
+    const DirectionPlan* my_plan = &plan;
+    DirectionPlan fallback(options, n, team);  // unconditional, as before
+    if (team != workers) my_plan = &fallback;
+    const std::uint64_t my_total = my_plan->total_updates(id, options.sweeps);
+    const std::uint64_t stride = static_cast<std::uint64_t>(
+        std::max<index_t>(my_plan->per_sweep(id), 1));
+    for (std::uint64_t k = 0; k < my_total; ++k) {
+      const index_t r = my_plan->pick(id, k);
+      update_coordinate(a, b.data(), x.data(), r, beta, inv_diag[r],
+                        options.atomic_writes);
+      if (team > 1 && (k + 1) % stride == 0) std::this_thread::yield();
+    }
+  });
+  report.sweeps_done = options.sweeps;
+  report.updates = static_cast<long long>(options.sweeps) *
+                   static_cast<long long>(n);
+  report.seconds = timer.seconds();
+  return report;
+}
+
+/// Pre-PR2 barrier-per-sweep engine with the serial worker-0 residual.
+AsyncRgsReport solve_barrier(ThreadPool& pool, const CsrMatrix& a,
+                             const std::vector<double>& b,
+                             std::vector<double>& x,
+                             const AsyncRgsOptions& options) {
+  const index_t n = a.rows();
+  std::vector<double> inv_diag = a.diagonal();
+  for (double& d : inv_diag) d = 1.0 / d;
+  const double beta = options.step_size;
+  int workers = options.workers > 0 ? options.workers : pool.size();
+  if (workers > pool.size()) workers = pool.size();
+  const bool check_enabled = options.track_history || options.rel_tol > 0.0;
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  WallTimer timer;
+  const DirectionPlan plan(options, n, workers);
+  SpinBarrier barrier(workers);
+  std::atomic<bool> stop{false};
+  std::atomic<int> sweeps_done{0};
+  pool.run_team(workers, [&](int id, int team) {
+    const bool use_barrier = (team == workers && team > 1);
+    const DirectionPlan* my_plan = &plan;
+    DirectionPlan fallback(options, n, team);
+    if (team != workers) my_plan = &fallback;
+    const index_t mine = my_plan->per_sweep(id);
+    for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+      for (index_t t = 0; t < mine; ++t) {
+        const index_t r = my_plan->pick_in_sweep(id, sweep, t);
+        update_coordinate(a, b.data(), x.data(), r, beta, inv_diag[r],
+                          options.atomic_writes);
+      }
+      if (use_barrier) barrier.arrive_and_wait();
+      if (id == 0) {
+        sweeps_done.store(sweep + 1, std::memory_order_relaxed);
+        if (check_enabled) {
+          const double rel = relative_residual(a, b, x);  // serial
+          report.final_relative_residual = rel;
+          if (options.track_history) report.residual_history.push_back(rel);
+          if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
+            report.converged = true;
+            stop.store(true, std::memory_order_release);
+          }
+        }
+      }
+      if (use_barrier) barrier.arrive_and_wait();
+      if (stop.load(std::memory_order_acquire)) break;
+    }
+  });
+  report.sweeps_done = sweeps_done.load(std::memory_order_relaxed);
+  report.updates = static_cast<long long>(report.sweeps_done) *
+                   static_cast<long long>(n);
+  report.seconds = timer.seconds();
+  return report;
+}
+
+}  // namespace legacy
+
+namespace {
+
+struct Measurement {
+  std::string workload;  // "gram_engine_bound" | "gram_scan_bound"
+  std::string engine;    // "legacy" | "current"
+  std::string mode;      // "free_running" | "barrier_residual"
+  int workers = 0;
+  long long updates = 0;
+  double seconds = 0.0;
+  double updates_per_second = 0.0;
+  double residual_cost_per_sweep = 0.0;  // barrier_residual rows only
+};
+
+struct WorkloadSpec {
+  std::string name;
+  SocialGramOptions gram;
+  index_t n = 0;
+  nnz_t nnz = 0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    if (c == '"' || c == '\\')
+      (out += '\\') += c;
+    else
+      out += c;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_updates",
+                "Updates/second: current engine vs the pre-PR2 baseline");
+  // Headline workload: a short-row Gram (mean ~7 nnz/row) where the engine
+  // overhead — direction draws, dispatch, synchronization bookkeeping — is
+  // the dominant per-update cost.  The dense-row reference workload below
+  // isolates the complementary regime where the CSR row scan (whose
+  // floating-point association is pinned for bit-reproducibility) bounds
+  // the update, so engine improvements show up less.
+  auto terms = cli.add_int("terms", 6000, "headline Gram dimension");
+  auto documents = cli.add_int("documents", 9000, "headline corpus size");
+  auto doc_length =
+      cli.add_int("doc-length", 3, "headline mean terms per document");
+  auto seed = cli.add_int("seed", 42, "corpus generator seed");
+  // Long runs + many repetitions: on an oversubscribed 1-core host the
+  // 4-worker point is scheduler-noise dominated, and the minimum over short
+  // runs is unstable.
+  auto sweeps = cli.add_int("sweeps", 400, "sweeps per timed run");
+  auto repeats = cli.add_int("repeats", 9, "timing repetitions (min taken)");
+  auto threads_opt =
+      cli.add_int_list("threads", {1, 2, 4}, "worker counts to measure");
+  auto headline =
+      cli.add_int("headline-workers", 4, "worker count for the headline ratio");
+  auto label = cli.add_string("label", "dev", "label for the JSON file");
+  auto out_path =
+      cli.add_string("out", "", "output path (default BENCH_<label>.json)");
+  auto git_rev = cli.add_string("git", "", "git revision recorded in the JSON");
+  auto skip_scan = cli.add_flag(
+      "skip-scan-workload", "measure only the engine-bound headline workload");
+  auto smoke = cli.add_flag("smoke", "tiny workload for CI smoke runs");
+  cli.parse(argc, argv);
+
+  const int n_sweeps = *smoke ? 40 : static_cast<int>(*sweeps);
+  const int n_repeats = *smoke ? 2 : static_cast<int>(*repeats);
+
+  std::vector<WorkloadSpec> workloads;
+  {
+    WorkloadSpec engine_bound;
+    engine_bound.name = "gram_engine_bound";
+    engine_bound.gram.terms = *smoke ? 1500 : *terms;
+    engine_bound.gram.documents = *smoke ? 2200 : *documents;
+    engine_bound.gram.mean_doc_length = *doc_length;
+    engine_bound.gram.ridge = 0.5;
+    engine_bound.gram.topics = *smoke ? 20 : 100;
+    engine_bound.gram.topic_concentration = 0.92;
+    engine_bound.gram.seed = static_cast<std::uint64_t>(*seed);
+    workloads.push_back(engine_bound);
+    if (!*skip_scan) {
+      WorkloadSpec scan_bound;
+      scan_bound.name = "gram_scan_bound";
+      scan_bound.gram.terms = *smoke ? 600 : 3000;
+      scan_bound.gram.documents = *smoke ? 2400 : 12000;
+      scan_bound.gram.mean_doc_length = 10;
+      scan_bound.gram.ridge = 0.5;
+      scan_bound.gram.topics = *smoke ? 20 : 100;
+      scan_bound.gram.topic_concentration = 0.92;
+      scan_bound.gram.seed = static_cast<std::uint64_t>(*seed);
+      workloads.push_back(scan_bound);
+    }
+  }
+
+  print_banner("bench_updates", "updates/second trajectory (perf PRs)");
+
+  // The pool is sized to the requested sweep, not the hardware, so the
+  // 4-worker point exists even on small CI machines (oversubscribed workers
+  // timeshare; both engines are measured under the identical regime).
+  std::vector<int> worker_sweep;
+  for (std::int64_t t : *threads_opt)
+    worker_sweep.push_back(static_cast<int>(t));
+  if (worker_sweep.empty()) worker_sweep = {1, 2, 4};
+  // The headline ratio needs its worker count measured; without this a
+  // custom --threads list omitting it would silently record speedup 0.
+  if (std::find(worker_sweep.begin(), worker_sweep.end(),
+                static_cast<int>(*headline)) == worker_sweep.end())
+    worker_sweep.push_back(static_cast<int>(*headline));
+  int max_workers = 1;
+  for (int w : worker_sweep) max_workers = std::max(max_workers, w);
+  ThreadPool pool(max_workers);
+
+  std::vector<Measurement> results;
+  Table table({"workload", "workers", "engine", "mode", "updates/s",
+               "ns/update", "check_s/sweep"});
+
+  for (WorkloadSpec& spec : workloads) {
+    const SocialGram system = make_social_gram(spec.gram);
+    const CsrMatrix a =
+        UnitDiagonalScaling(system.gram).scale_matrix(system.gram);
+    std::cout << "# workload " << spec.name << ":\n";
+    print_matrix_profile(a);
+    const index_t n = a.rows();
+    spec.n = n;
+    spec.nnz = a.nnz();
+    const std::vector<double> b = random_vector(n, 7);
+
+    const auto time_run = [&](auto&& fn) {
+      double best = 1e300;
+      for (int rep = 0; rep < n_repeats; ++rep) {
+        std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+        best = std::min(best, fn(x));
+      }
+      return best;
+    };
+
+    for (int workers : worker_sweep) {
+      AsyncRgsOptions opt;
+      opt.sweeps = n_sweeps;
+      opt.seed = 1;
+      opt.workers = workers;
+
+      // --- free-running updates/second ----------------------------------
+      for (bool current : {false, true}) {
+        AsyncRgsOptions run_opt = opt;
+        run_opt.sync = SyncMode::kFreeRunning;
+        const double secs = time_run([&](std::vector<double>& x) {
+          const AsyncRgsReport r =
+              current ? async_rgs_solve(pool, a, b, x, run_opt)
+                      : legacy::solve_free_running(pool, a, b, x, run_opt);
+          return r.seconds;
+        });
+        Measurement m;
+        m.workload = spec.name;
+        m.engine = current ? "current" : "legacy";
+        m.mode = "free_running";
+        m.workers = workers;
+        m.updates = static_cast<long long>(n_sweeps) * n;
+        m.seconds = secs;
+        m.updates_per_second = static_cast<double>(m.updates) / secs;
+        results.push_back(m);
+        table.add_row(
+            {spec.name, std::to_string(workers), m.engine, m.mode,
+             fmt_sci(m.updates_per_second),
+             fmt_fixed(1e9 * secs / static_cast<double>(m.updates), 1), "-"});
+      }
+
+      // --- residual-check cost at synchronization points -----------------
+      // Barrier-per-sweep with history tracking vs without: the difference
+      // is what each sweep pays for the residual (serial on worker 0 in the
+      // legacy engine, team-parallel in the current one).
+      for (bool current : {false, true}) {
+        AsyncRgsOptions plain = opt;
+        plain.sync = SyncMode::kBarrierPerSweep;
+        AsyncRgsOptions tracked = plain;
+        tracked.track_history = true;
+        const double secs_plain = time_run([&](std::vector<double>& x) {
+          const AsyncRgsReport r =
+              current ? async_rgs_solve(pool, a, b, x, plain)
+                      : legacy::solve_barrier(pool, a, b, x, plain);
+          return r.seconds;
+        });
+        const double secs_tracked = time_run([&](std::vector<double>& x) {
+          const AsyncRgsReport r =
+              current ? async_rgs_solve(pool, a, b, x, tracked)
+                      : legacy::solve_barrier(pool, a, b, x, tracked);
+          return r.seconds;
+        });
+        Measurement m;
+        m.workload = spec.name;
+        m.engine = current ? "current" : "legacy";
+        m.mode = "barrier_residual";
+        m.workers = workers;
+        m.updates = static_cast<long long>(n_sweeps) * n;
+        m.seconds = secs_tracked;
+        m.updates_per_second = static_cast<double>(m.updates) / secs_tracked;
+        m.residual_cost_per_sweep =
+            std::max(0.0, (secs_tracked - secs_plain) / n_sweeps);
+        results.push_back(m);
+        table.add_row({spec.name, std::to_string(workers), m.engine, m.mode,
+                       fmt_sci(m.updates_per_second),
+                       fmt_fixed(1e9 * secs_tracked /
+                                     static_cast<double>(m.updates),
+                                 1),
+                       fmt_sci(m.residual_cost_per_sweep)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // --- headline ratio ----------------------------------------------------
+  const std::string headline_workload = workloads.front().name;
+  double legacy_ups = 0.0, current_ups = 0.0;
+  for (const Measurement& m : results) {
+    if (m.workload != headline_workload || m.mode != "free_running" ||
+        m.workers != *headline)
+      continue;
+    (m.engine == "current" ? current_ups : legacy_ups) = m.updates_per_second;
+  }
+  const double speedup = legacy_ups > 0.0 ? current_ups / legacy_ups : 0.0;
+  std::cout << "# headline (" << headline_workload << ", free-running, "
+            << *headline << " workers): legacy=" << fmt_sci(legacy_ups)
+            << " current=" << fmt_sci(current_ups)
+            << " speedup=" << fmt_fixed(speedup, 2) << "x\n";
+
+  // --- JSON --------------------------------------------------------------
+  const std::string path =
+      (*out_path).empty() ? "BENCH_" + *label + ".json" : *out_path;
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"schema_version\": 2,\n"
+       << "  \"bench\": \"bench_updates\",\n"
+       << "  \"label\": \"" << json_escape(*label) << "\",\n"
+       << "  \"git\": \"" << json_escape(*git_rev) << "\",\n"
+       << "  \"smoke\": " << (*smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"sweeps\": " << n_sweeps << ",\n"
+       << "  \"repeats\": " << n_repeats << ",\n"
+       << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const WorkloadSpec& w = workloads[i];
+    json << "    {\"name\": \"" << w.name << "\", \"kind\": \"social_gram\""
+         << ", \"terms\": " << w.gram.terms
+         << ", \"documents\": " << w.gram.documents
+         << ", \"mean_doc_length\": " << w.gram.mean_doc_length
+         << ", \"n\": " << w.n << ", \"nnz\": " << w.nnz << "}"
+         << (i + 1 < workloads.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    json << "    {\"workload\": \"" << m.workload << "\", \"engine\": \""
+         << m.engine << "\", \"mode\": \"" << m.mode
+         << "\", \"workers\": " << m.workers << ", \"updates\": " << m.updates
+         << ", \"seconds\": " << m.seconds
+         << ", \"updates_per_second\": " << m.updates_per_second;
+    if (m.mode == "barrier_residual")
+      json << ", \"residual_cost_per_sweep_seconds\": "
+           << m.residual_cost_per_sweep;
+    json << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"headline\": {\"workload\": \"" << headline_workload
+       << "\", \"mode\": \"free_running\", \"workers\": " << *headline
+       << ", \"legacy_updates_per_second\": " << legacy_ups
+       << ", \"current_updates_per_second\": " << current_ups
+       << ", \"speedup\": " << speedup << "}\n"
+       << "}\n";
+  std::cout << "# wrote " << path << "\n";
+  return 0;
+}

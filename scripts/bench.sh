@@ -1,0 +1,45 @@
+#!/bin/sh
+# Builds the Release bench drivers and records an updates/second trajectory
+# point as BENCH_<label>.json in the repository root (schema documented in
+# bench/README.md).
+#
+# Usage: scripts/bench.sh [--smoke] [--label NAME] [--build-dir DIR]
+#                         [-- extra bench_updates flags...]
+#   --smoke       tiny workload + short timings (CI keep-alive for the perf
+#                 binaries; numbers are NOT comparable to full runs)
+#   --label NAME  JSON label and file name (default: smoke | local)
+#   --build-dir   CMake build tree to use (default: build-bench, configured
+#                 Release with tests/examples/tools off for a fast build)
+# Everything after `--` is passed through to bench_updates verbatim.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+smoke=""
+label=""
+build_dir="build-bench"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) smoke="--smoke"; shift ;;
+    --label) label="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --) shift; break ;;
+    *) echo "bench.sh: unknown option $1" >&2; exit 2 ;;
+  esac
+done
+if [ -z "$label" ]; then
+  if [ -n "$smoke" ]; then label="smoke"; else label="local"; fi
+fi
+
+git_rev=$(git describe --always --dirty 2>/dev/null || echo unknown)
+
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DASYRGS_BUILD_TESTS=OFF -DASYRGS_BUILD_EXAMPLES=OFF \
+  -DASYRGS_BUILD_TOOLS=OFF >/dev/null
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
+  --target bench_updates
+
+"$build_dir"/bench/bench_updates $smoke --label "$label" \
+  --git "$git_rev" --out "BENCH_${label}.json" "$@"
+
+echo "bench.sh: wrote BENCH_${label}.json"

@@ -1,6 +1,8 @@
 #include "asyrgs/core/async_jacobi.hpp"
 
+#include <algorithm>
 #include <thread>
+#include <vector>
 
 #include "asyrgs/support/atomics.hpp"
 #include "asyrgs/support/timer.hpp"
@@ -25,6 +27,18 @@ AsyncRgsReport async_jacobi_solve(ThreadPool& pool, const CsrMatrix& a,
     d = 1.0 / d;
   }
 
+  // Position of the (structurally present, nonzero) diagonal entry within
+  // each sorted row, precomputed so the relaxation kernel can skip it with
+  // two tight loops instead of a per-nonzero comparison.
+  std::vector<nnz_t> diag_pos(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto* it = std::lower_bound(cols.data(), cols.data() + cols.size(), i);
+    ASYRGS_ASSERT(it != cols.data() + cols.size() && *it == i);
+    diag_pos[static_cast<std::size_t>(i)] =
+        a.row_ptr()[i] + static_cast<nnz_t>(it - cols.data());
+  }
+
   int workers = options.workers > 0 ? options.workers : pool.size();
   if (workers > pool.size()) workers = pool.size();
 
@@ -39,20 +53,28 @@ AsyncRgsReport async_jacobi_solve(ThreadPool& pool, const CsrMatrix& a,
     const index_t chunk = (n + team - 1) / team;
     const index_t lo = std::min<index_t>(static_cast<index_t>(id) * chunk, n);
     const index_t hi = std::min<index_t>(lo + chunk, n);
+    const nnz_t* __restrict rp = a.row_ptr().data();
+    const index_t* __restrict ci = a.col_idx().data();
+    const double* __restrict av = a.values().data();
+    const double* __restrict bp = b.data();
+    const double* __restrict inv = inv_diag.data();
+    const nnz_t* __restrict dp = diag_pos.data();
+    double* xp = x.data();
     auto relax_row = [&](index_t i) {
-      double acc = b[i];
-      double diag_x = 0.0;
-      const auto cols = a.row_cols(i);
-      const auto vals = a.row_vals(i);
-      for (std::size_t t = 0; t < cols.size(); ++t) {
-        const double xv = atomic_load_relaxed(x[cols[t]]);
-        if (cols[t] == i)
-          diag_x = xv;
-        else
-          acc -= vals[t] * xv;
-      }
-      const double target = acc * inv_diag[i];
-      atomic_store_relaxed(x[i], (1.0 - omega) * diag_x + omega * target);
+      // Same subtraction sequence as the branchy scan (off-diagonal terms in
+      // column order); only the per-nonzero diagonal test is gone.  x_i is
+      // written solely by this row's owner, so reading it out of scan order
+      // observes the identical value.
+      double acc = bp[i];
+      const nnz_t row_end = rp[i + 1];
+      const nnz_t diag = dp[i];
+      for (nnz_t t = rp[i]; t < diag; ++t)
+        acc -= av[t] * atomic_load_relaxed(xp[ci[t]]);
+      for (nnz_t t = diag + 1; t < row_end; ++t)
+        acc -= av[t] * atomic_load_relaxed(xp[ci[t]]);
+      const double diag_x = atomic_load_relaxed(xp[i]);
+      const double target = acc * inv[i];
+      atomic_store_relaxed(xp[i], (1.0 - omega) * diag_x + omega * target);
     };
     for (int sweep = 0; sweep < options.sweeps; ++sweep) {
       if (options.ownership == JacobiOwnership::kContiguous) {

@@ -1,11 +1,11 @@
 #include "asyrgs/core/async_lsq.hpp"
 
-#include <atomic>
 #include <cmath>
+#include <vector>
 
+#include "asyrgs/core/engine.hpp"
 #include "asyrgs/linalg/vector_ops.hpp"
 #include "asyrgs/support/atomics.hpp"
-#include "asyrgs/support/barrier.hpp"
 #include "asyrgs/support/prng.hpp"
 #include "asyrgs/support/timer.hpp"
 
@@ -24,8 +24,7 @@ std::vector<double> column_sq_norms(const CsrMatrix& at) {
   return sq;
 }
 
-/// ||A^T (b - A x)|| / ||A^T b|| computed serially (synchronization points
-/// and sequential code only).
+/// ||A^T (b - A x)|| / ||A^T b|| computed serially (sequential solver only).
 double normal_residual(const CsrMatrix& a, const std::vector<double>& b,
                        const std::vector<double>& x) {
   std::vector<double> r(static_cast<std::size_t>(a.rows()));
@@ -38,6 +37,103 @@ double normal_residual(const CsrMatrix& a, const std::vector<double>& b,
   const double denom = nrm2(g0);
   return denom > 0.0 ? nrm2(g) / denom : nrm2(g);
 }
+
+/// One asynchronous column update (iteration (21)): the residual entries for
+/// the column's rows are recomputed from shared x on every step.  Specialized
+/// at compile time on the atomicity mode.
+template <bool kAtomicWrites>
+struct LsqUpdate {
+  const CsrMatrix* a;
+  const CsrMatrix* at;
+  const double* b;
+  const double* col_sq;
+  double* x;
+  double beta;
+
+  void operator()(int, index_t j, index_t j_ahead) const noexcept {
+    __builtin_prefetch(at->row_cols(j_ahead).data());
+    __builtin_prefetch(at->row_vals(j_ahead).data());
+    const auto rows = at->row_cols(j);
+    const auto col_vals = at->row_vals(j);
+    double gamma = 0.0;
+    for (std::size_t s = 0; s < rows.size(); ++s) {
+      const index_t i = rows[s];
+      // r_i = b_i - A_i x with relaxed-atomic reads of the shared iterate.
+      double ri = b[i];
+      const auto arow_cols = a->row_cols(i);
+      const auto arow_vals = a->row_vals(i);
+      for (std::size_t q = 0; q < arow_cols.size(); ++q)
+        ri -= arow_vals[q] * atomic_load_relaxed(x[arow_cols[q]]);
+      gamma += col_vals[s] * ri;
+    }
+    const double delta = beta * gamma / col_sq[j];
+    if constexpr (kAtomicWrites)
+      atomic_add_relaxed(x[j], delta);
+    else
+      racy_add(x[j], delta);
+  }
+};
+
+/// ||A^T (b - A x)|| / ||A^T b|| as a two-phase team-parallel reduction at
+/// synchronization points: phase 1 materializes r = b - A x (row chunks),
+/// phase 2 reduces ||A^T r||^2 (column chunks via the rows of A^T).  The
+/// denominator ||A^T b|| is an invariant of the run and computed once at
+/// construction, not once per synchronization as the old serial callback did.
+class LsqResidual {
+ public:
+  LsqResidual(const CsrMatrix& a, const CsrMatrix& at,
+              const std::vector<double>& b, const double* x, int workers,
+              bool enabled)
+      : a_(a), at_(at), b_(b), x_(x), reduce_(workers) {
+    if (!enabled) return;
+    r_.resize(static_cast<std::size_t>(a.rows()));
+    std::vector<double> g0(static_cast<std::size_t>(a.cols()));
+    a.multiply_transpose(b.data(), g0.data());
+    denom_ = nrm2(g0);
+  }
+
+  double operator()(int id, int team) {
+    // Phase 1: r = b - A x over this worker's row chunk.
+    {
+      const auto [lo, hi] = detail::chunk_of(a_.rows(), id, team);
+      for (index_t i = lo; i < hi; ++i) {
+        double ri = b_[i];
+        const auto cols = a_.row_cols(i);
+        const auto vals = a_.row_vals(i);
+        for (std::size_t s = 0; s < cols.size(); ++s)
+          ri -= vals[s] * atomic_load_relaxed(x_[cols[s]]);
+        r_[static_cast<std::size_t>(i)] = ri;
+      }
+    }
+    if (team > 1) reduce_.barrier().arrive_and_wait();
+    // Phase 2: ||A^T r||^2 over this worker's chunk of A^T rows.
+    const double num = reduce_.run(id, team, [&](int w, int t) {
+      const auto [lo, hi] = detail::chunk_of(at_.rows(), w, t);
+      double acc = 0.0;
+      for (index_t j = lo; j < hi; ++j) {
+        const auto rows = at_.row_cols(j);
+        const auto vals = at_.row_vals(j);
+        double g = 0.0;
+        for (std::size_t s = 0; s < rows.size(); ++s)
+          g += vals[s] * r_[static_cast<std::size_t>(rows[s])];
+        acc += g * g;
+      }
+      return acc;
+    });
+    if (id != 0) return 0.0;
+    const double rn = std::sqrt(num);
+    return denom_ > 0.0 ? rn / denom_ : rn;
+  }
+
+ private:
+  const CsrMatrix& a_;
+  const CsrMatrix& at_;
+  const std::vector<double>& b_;
+  const double* x_;
+  detail::TeamReduce reduce_;
+  std::vector<double> r_;
+  double denom_ = 0.0;
+};
 
 }  // namespace
 
@@ -65,20 +161,31 @@ RgsReport rcd_lsq_solve(const CsrMatrix& a, const std::vector<double>& b,
   a.multiply(x.data(), r.data());
   for (index_t i = 0; i < a.rows(); ++i) r[i] = b[i] - r[i];
 
+  // Directions drawn in batches (identical stream to per-call index_at).
+  std::vector<index_t> picks(static_cast<std::size_t>(
+      std::min<index_t>(n, static_cast<index_t>(detail::kDirectionChunk))));
   std::uint64_t pos = 0;
   for (int sweep = 1; sweep <= options.sweeps; ++sweep) {
-    for (index_t t = 0; t < n; ++t, ++pos) {
-      const index_t j = dirs.index_at(pos, n);
-      // gamma = A_{:,j}^T r / ||A_{:,j}||^2 over the column's row support.
-      const auto rows = at.row_cols(j);
-      const auto vals = at.row_vals(j);
-      double gamma = 0.0;
-      for (std::size_t s = 0; s < rows.size(); ++s)
-        gamma += vals[s] * r[rows[s]];
-      gamma *= beta / col_sq[j];
-      x[j] += gamma;
-      for (std::size_t s = 0; s < rows.size(); ++s)
-        r[rows[s]] -= gamma * vals[s];
+    index_t done = 0;
+    while (done < n) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<index_t>(static_cast<index_t>(picks.size()), n - done));
+      dirs.fill_indices(pos, chunk, n, picks.data());
+      for (std::size_t u = 0; u < chunk; ++u) {
+        const index_t j = picks[u];
+        // gamma = A_{:,j}^T r / ||A_{:,j}||^2 over the column's row support.
+        const auto rows = at.row_cols(j);
+        const auto vals = at.row_vals(j);
+        double gamma = 0.0;
+        for (std::size_t s = 0; s < rows.size(); ++s)
+          gamma += vals[s] * r[rows[s]];
+        gamma *= beta / col_sq[j];
+        x[j] += gamma;
+        for (std::size_t s = 0; s < rows.size(); ++s)
+          r[rows[s]] -= gamma * vals[s];
+      }
+      pos += chunk;
+      done += static_cast<index_t>(chunk);
     }
     report.sweeps_done = sweep;
     report.updates += n;
@@ -109,12 +216,14 @@ AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
           "async_lsq_solve: `at` must be the transpose of `a`");
   require(options.step_size > 0.0 && options.step_size < 2.0,
           "async_lsq_solve: step size must be in (0, 2)");
+  require(options.sweeps >= 0, "async_lsq_solve: sweeps must be non-negative");
+  require(options.sync_interval_seconds > 0.0,
+          "async_lsq_solve: sync interval must be positive");
   const index_t n = a.cols();
   const std::vector<double> col_sq = column_sq_norms(at);
   for (double s : col_sq)
     require(s > 0.0, "async_lsq_solve: zero column (A must have full rank)");
 
-  const Philox4x32 dirs(options.seed);
   const double beta = options.step_size;
   int workers = options.workers > 0 ? options.workers : pool.size();
   if (workers > pool.size()) workers = pool.size();
@@ -122,75 +231,18 @@ AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
   AsyncRgsReport report;
   report.workers = workers;
 
-  // One asynchronous column update (iteration (21)): the residual entries
-  // for the column's rows are recomputed from shared x on every step.
-  auto update_column = [&](index_t j) {
-    const auto rows = at.row_cols(j);
-    const auto col_vals = at.row_vals(j);
-    double gamma = 0.0;
-    for (std::size_t s = 0; s < rows.size(); ++s) {
-      const index_t i = rows[s];
-      // r_i = b_i - A_i x with relaxed-atomic reads of the shared iterate.
-      double ri = b[i];
-      const auto arow_cols = a.row_cols(i);
-      const auto arow_vals = a.row_vals(i);
-      for (std::size_t q = 0; q < arow_cols.size(); ++q)
-        ri -= arow_vals[q] * atomic_load_relaxed(x[arow_cols[q]]);
-      gamma += col_vals[s] * ri;
-    }
-    const double delta = beta * gamma / col_sq[j];
-    if (options.atomic_writes)
-      atomic_add_relaxed(x[j], delta);
-    else
-      racy_add(x[j], delta);
-  };
+  const bool check = options.track_history || options.rel_tol > 0.0;
+  LsqResidual residual(a, at, b, x.data(), workers, check);
 
   WallTimer timer;
-  if (options.sync == SyncMode::kFreeRunning) {
-    const std::uint64_t total =
-        static_cast<std::uint64_t>(options.sweeps) *
-        static_cast<std::uint64_t>(n);
-    pool.run_team(workers, [&](int id, int team) {
-      for (std::uint64_t pos = static_cast<std::uint64_t>(id); pos < total;
-           pos += static_cast<std::uint64_t>(team)) {
-        update_column(dirs.index_at(pos, n));
-      }
-    });
-    report.sweeps_done = options.sweeps;
-    report.updates = static_cast<long long>(total);
+  if (options.atomic_writes) {
+    const LsqUpdate<true> update{&a, &at, b.data(), col_sq.data(), x.data(),
+                                 beta};
+    detail::run_engine(pool, options, n, workers, update, residual, report);
   } else {
-    SpinBarrier barrier(workers);
-    std::atomic<bool> stop{false};
-    std::atomic<int> sweeps_done{0};
-    const bool check = options.track_history || options.rel_tol > 0.0;
-    pool.run_team(workers, [&](int id, int team) {
-      const bool use_barrier = (team == workers && team > 1);
-      for (int sweep = 0; sweep < options.sweeps; ++sweep) {
-        const std::uint64_t base = static_cast<std::uint64_t>(sweep) *
-                                   static_cast<std::uint64_t>(n);
-        for (index_t t = id; t < n; t += team)
-          update_column(dirs.index_at(base + static_cast<std::uint64_t>(t), n));
-        if (use_barrier) barrier.arrive_and_wait();
-        if (id == 0) {
-          sweeps_done.store(sweep + 1, std::memory_order_relaxed);
-          if (check) {
-            const double rel = normal_residual(a, b, x);
-            report.final_relative_residual = rel;
-            if (options.track_history)
-              report.residual_history.push_back(rel);
-            if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
-              report.converged = true;
-              stop.store(true, std::memory_order_release);
-            }
-          }
-        }
-        if (use_barrier) barrier.arrive_and_wait();
-        if (stop.load(std::memory_order_acquire)) break;
-      }
-    });
-    report.sweeps_done = sweeps_done.load(std::memory_order_relaxed);
-    report.updates =
-        static_cast<long long>(report.sweeps_done) * static_cast<long long>(n);
+    const LsqUpdate<false> update{&a, &at, b.data(), col_sq.data(), x.data(),
+                                  beta};
+    detail::run_engine(pool, options, n, workers, update, residual, report);
   }
   report.seconds = timer.seconds();
   return report;

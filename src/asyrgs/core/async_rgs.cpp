@@ -1,14 +1,12 @@
 #include "asyrgs/core/async_rgs.hpp"
 
-#include <atomic>
 #include <cmath>
-#include <thread>
+#include <vector>
 
-#include "asyrgs/linalg/norms.hpp"
+#include "asyrgs/core/engine.hpp"
+#include "asyrgs/linalg/vector_ops.hpp"
 #include "asyrgs/support/aligned.hpp"
 #include "asyrgs/support/atomics.hpp"
-#include "asyrgs/support/barrier.hpp"
-#include "asyrgs/support/prng.hpp"
 #include "asyrgs/support/timer.hpp"
 
 namespace asyrgs {
@@ -34,289 +32,183 @@ void validate(const AsyncRgsOptions& options) {
           "async_rgs: sync interval must be positive");
 }
 
-/// One asynchronous coordinate update on the shared single-RHS iterate.
-/// All reads of x are relaxed-atomic; the write honours the atomicity mode.
-/// The arithmetic association (one subtraction per nonzero, then
-/// beta * (acc / A_rr)) is kept identical to the sequential solver so that
-/// a one-worker run reproduces it bit for bit.
-inline void update_coordinate(const CsrMatrix& a, const double* b, double* x,
-                              index_t r, double beta, double inv_diag,
-                              bool atomic_writes) {
-  double acc = b[r];
-  const auto cols = a.row_cols(r);
-  const auto vals = a.row_vals(r);
-  for (std::size_t t = 0; t < cols.size(); ++t)
-    acc -= vals[t] * atomic_load_relaxed(x[cols[t]]);
-  const double delta = beta * (acc * inv_diag);
-  if (atomic_writes)
-    atomic_add_relaxed(x[r], delta);
-  else
-    racy_add(x[r], delta);
+/// b_r and 1/A_rr interleaved so the two per-update row constants share one
+/// cache line (and usually one 16-byte load pair).
+struct RhsDiagPair {
+  double b;
+  double inv_diag;
+};
+
+std::vector<RhsDiagPair> pack_rhs_diag(const std::vector<double>& b,
+                                       const std::vector<double>& inv_diag) {
+  std::vector<RhsDiagPair> packed(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    packed[i] = {b[i], inv_diag[i]};
+  return packed;
 }
+
+/// One asynchronous coordinate update on the shared single-RHS iterate,
+/// specialized at compile time on the atomicity mode so the hot loop carries
+/// no per-update branch.  All reads of x are relaxed-atomic; the write
+/// honours the mode.  The arithmetic association (one subtraction per
+/// nonzero, then beta * (acc / A_rr)) is kept identical to the sequential
+/// solver so that a one-worker run reproduces it bit for bit.
+template <bool kAtomicWrites>
+struct SingleRhsUpdate {
+  const nnz_t* row_ptr;
+  const index_t* cols;
+  const double* vals;
+  const RhsDiagPair* rhs_diag;
+  double* x;
+  double beta;
+
+  void operator()(int, index_t r, index_t r_ahead) const noexcept {
+    const nnz_t* __restrict rp = row_ptr;
+    const index_t* __restrict ci = cols;
+    const double* __restrict av = vals;
+    const RhsDiagPair* __restrict bd = rhs_diag;
+    // The direction buffer makes the future known: pull an upcoming row's
+    // constants and the head of its index/value arrays into cache while this
+    // row's scan chain retires.
+    const nnz_t ahead_lo = rp[r_ahead];
+    __builtin_prefetch(&bd[r_ahead]);
+    __builtin_prefetch(&av[ahead_lo]);
+    __builtin_prefetch(&ci[ahead_lo]);
+    __builtin_prefetch(&x[r_ahead]);
+    double acc = bd[r].b;
+    const nnz_t lo = rp[r];
+    const nnz_t hi = rp[r + 1];
+    for (nnz_t t = lo; t < hi; ++t)
+      acc -= av[t] * atomic_load_relaxed(x[ci[t]]);
+    const double delta = beta * (acc * bd[r].inv_diag);
+    if constexpr (kAtomicWrites)
+      atomic_add_relaxed(x[r], delta);
+    else
+      racy_add(x[r], delta);
+  }
+};
 
 /// One asynchronous update applied to every column of the block iterate.
-/// `gamma` is per-worker scratch of k doubles (caller guarantees cache-line
-/// separation between workers' buffers).
-inline void update_coordinate_block(const CsrMatrix& a, const MultiVector& b,
-                                    MultiVector& x, index_t r, double beta,
-                                    double inv_diag, bool atomic_writes,
-                                    double* gamma) {
-  const index_t k = b.cols();
-  const double* b_row = b.row(r);
-  for (index_t c = 0; c < k; ++c) gamma[c] = b_row[c];
-  const auto cols = a.row_cols(r);
-  const auto vals = a.row_vals(r);
-  for (std::size_t t = 0; t < cols.size(); ++t) {
-    const double arj = vals[t];
-    const double* x_row = x.row(cols[t]);
-    for (index_t c = 0; c < k; ++c)
-      gamma[c] -= arj * atomic_load_relaxed(x_row[c]);
-  }
-  double* xr = x.row(r);
-  if (atomic_writes) {
-    for (index_t c = 0; c < k; ++c)
-      atomic_add_relaxed(xr[c], beta * (gamma[c] * inv_diag));
-  } else {
-    for (index_t c = 0; c < k; ++c)
-      racy_add(xr[c], beta * (gamma[c] * inv_diag));
-  }
-}
+/// `gamma` is per-worker scratch of k doubles (cache-line separated slab).
+template <bool kAtomicWrites>
+struct BlockRhsUpdate {
+  const CsrMatrix* a;
+  const MultiVector* b;
+  MultiVector* x;
+  const double* inv_diag;
+  double beta;
+  double* gamma_base;
+  std::size_t gamma_stride;
 
-/// Per-worker direction schedule honouring the randomization scope.
-///
-/// kShared: one Philox stream over global indices; worker w consumes
-/// positions {w, w+P, ...} (free-running/timed) or the per-sweep split
-/// (barrier mode) — all modes consume the identical direction multiset.
-///
-/// kOwnerComputes: worker w owns the contiguous partition
-/// [w*n/P-ish, ...) and draws uniformly from it via a worker-keyed stream.
-class DirectionPlan {
+  void operator()(int worker, index_t r, index_t r_ahead) const noexcept {
+    __builtin_prefetch(x->row(r_ahead));
+    __builtin_prefetch(b->row(r_ahead));
+    double* __restrict gamma =
+        gamma_base + static_cast<std::size_t>(worker) * gamma_stride;
+    const index_t k = b->cols();
+    const double* b_row = b->row(r);
+    for (index_t c = 0; c < k; ++c) gamma[c] = b_row[c];
+    const auto cols = a->row_cols(r);
+    const auto vals = a->row_vals(r);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      const double arj = vals[t];
+      const double* x_row = x->row(cols[t]);
+      for (index_t c = 0; c < k; ++c)
+        gamma[c] -= arj * atomic_load_relaxed(x_row[c]);
+    }
+    const double inv = inv_diag[r];
+    double* xr = x->row(r);
+    if constexpr (kAtomicWrites) {
+      for (index_t c = 0; c < k; ++c)
+        atomic_add_relaxed(xr[c], beta * (gamma[c] * inv));
+    } else {
+      for (index_t c = 0; c < k; ++c)
+        racy_add(xr[c], beta * (gamma[c] * inv));
+    }
+  }
+};
+
+/// ||b - A x|| / ||b|| evaluated as a team-parallel reduction over the
+/// workers rendezvoused at the synchronization barrier (the denominator is
+/// constant and precomputed).  Replaces the serial residual that used to run
+/// on worker 0 while the rest of the team spun.
+class SingleRhsResidual {
  public:
-  DirectionPlan(const AsyncRgsOptions& options, index_t n, int team)
-      : scope_(options.scope),
-        n_(n),
-        team_(team),
-        shared_(options.seed) {
-    if (scope_ == RandomizationScope::kOwnerComputes) {
-      lo_.resize(static_cast<std::size_t>(team));
-      size_.resize(static_cast<std::size_t>(team));
-      streams_.reserve(static_cast<std::size_t>(team));
-      const index_t base = n / team;
-      const index_t extra = n % team;
-      index_t lo = 0;
-      for (int w = 0; w < team; ++w) {
-        const index_t size = base + (w < extra ? 1 : 0);
-        lo_[static_cast<std::size_t>(w)] = lo;
-        size_[static_cast<std::size_t>(w)] = size;
-        lo += size;
-        streams_.emplace_back(
-            splitmix64(options.seed + 0x9E3779B97F4A7C15ull *
-                                          static_cast<std::uint64_t>(w + 1)));
+  SingleRhsResidual(const CsrMatrix& a, const std::vector<double>& b,
+                    const double* x, int workers)
+      : a_(a), b_(b), x_(x), reduce_(workers), b_norm_(nrm2(b)) {}
+
+  double operator()(int id, int team) {
+    const double num = reduce_.run(id, team, [&](int w, int t) {
+      const auto [lo, hi] = detail::chunk_of(a_.rows(), w, t);
+      double acc = 0.0;
+      for (index_t i = lo; i < hi; ++i) {
+        double ri = b_[i];
+        const auto cols = a_.row_cols(i);
+        const auto vals = a_.row_vals(i);
+        for (std::size_t s = 0; s < cols.size(); ++s)
+          ri -= vals[s] * atomic_load_relaxed(x_[cols[s]]);
+        acc += ri * ri;
       }
-    }
-  }
-
-  /// Updates worker w performs per sweep.
-  [[nodiscard]] index_t per_sweep(int w) const {
-    if (scope_ == RandomizationScope::kOwnerComputes)
-      return size_[static_cast<std::size_t>(w)];
-    // Count of global indices congruent to w modulo team in [0, n).
-    return (n_ - 1 - static_cast<index_t>(w)) / team_ + 1;
-  }
-
-  /// Total updates worker w performs over `sweeps` sweeps in free-running /
-  /// timed numbering.  For the shared scope this counts the global indices
-  /// congruent to w modulo team in [0, sweeps*n) — exactly tiling the
-  /// global stream so the direction multiset is identical to the
-  /// sequential run.
-  [[nodiscard]] std::uint64_t total_updates(int w, int sweeps) const {
-    if (scope_ == RandomizationScope::kOwnerComputes)
-      return static_cast<std::uint64_t>(sweeps) *
-             static_cast<std::uint64_t>(size_[static_cast<std::size_t>(w)]);
-    const std::uint64_t total = static_cast<std::uint64_t>(sweeps) *
-                                static_cast<std::uint64_t>(n_);
-    if (static_cast<std::uint64_t>(w) >= total) return 0;
-    return (total - 1 - static_cast<std::uint64_t>(w)) /
-               static_cast<std::uint64_t>(team_) +
-           1;
-  }
-
-  /// Direction for worker w's k-th update (free-running/timed numbering).
-  [[nodiscard]] index_t pick(int w, std::uint64_t k) const {
-    if (scope_ == RandomizationScope::kOwnerComputes) {
-      const std::size_t sw = static_cast<std::size_t>(w);
-      return lo_[sw] + streams_[sw].index_at(k, size_[sw]);
-    }
-    const std::uint64_t j =
-        static_cast<std::uint64_t>(w) +
-        k * static_cast<std::uint64_t>(team_);
-    return shared_.index_at(j, n_);
-  }
-
-  /// Direction for worker w's t-th update of sweep `sweep` (barrier mode).
-  [[nodiscard]] index_t pick_in_sweep(int w, int sweep, index_t t) const {
-    if (scope_ == RandomizationScope::kOwnerComputes) {
-      const std::size_t sw = static_cast<std::size_t>(w);
-      const std::uint64_t k = static_cast<std::uint64_t>(sweep) *
-                                  static_cast<std::uint64_t>(size_[sw]) +
-                              static_cast<std::uint64_t>(t);
-      return lo_[sw] + streams_[sw].index_at(k, size_[sw]);
-    }
-    const std::uint64_t j = static_cast<std::uint64_t>(sweep) *
-                                static_cast<std::uint64_t>(n_) +
-                            static_cast<std::uint64_t>(w) +
-                            static_cast<std::uint64_t>(t) *
-                                static_cast<std::uint64_t>(team_);
-    return shared_.index_at(j, n_);
+      return acc;
+    });
+    if (id != 0) return 0.0;
+    const double rn = std::sqrt(num);
+    return b_norm_ > 0.0 ? rn / b_norm_ : rn;
   }
 
  private:
-  RandomizationScope scope_;
-  index_t n_;
-  int team_;
-  Philox4x32 shared_;
-  std::vector<index_t> lo_;
-  std::vector<index_t> size_;
-  std::vector<Philox4x32> streams_;
+  const CsrMatrix& a_;
+  const std::vector<double>& b_;
+  const double* x_;
+  detail::TeamReduce reduce_;
+  double b_norm_;
 };
 
-/// Generic execution engine shared by the single-RHS and block solvers.
-/// `update(worker, r)` performs one coordinate update; `residual()` computes
-/// the convergence metric at synchronization points (called by worker 0
-/// only, all other workers parked at a barrier).
-template <typename UpdateFn, typename ResidualFn>
-void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
-                int workers, UpdateFn&& update, ResidualFn&& residual,
-                AsyncRgsReport& report) {
-  const bool check_enabled = options.track_history || options.rel_tol > 0.0;
+/// ||B - A X||_F / ||B||_F, team-parallel over rows (previously a serial
+/// O(nnz * k) loop on worker 0 per sweep).
+class BlockResidual {
+ public:
+  BlockResidual(const CsrMatrix& a, const MultiVector& b, const MultiVector& x,
+                int workers)
+      : a_(a), b_(b), x_(x), reduce_(workers), b_norm_(frobenius_norm(b)) {}
 
-  if (options.sync == SyncMode::kFreeRunning) {
-    const DirectionPlan plan(options, n, workers);
-    pool.run_team(workers, [&](int id, int team) {
-      // The pool may shrink the team on nested calls; rebuild the plan so
-      // the partitioning matches the actual team.
-      const DirectionPlan* my_plan = &plan;
-      DirectionPlan fallback(options, n, team);
-      if (team != workers) my_plan = &fallback;
-      const std::uint64_t my_total =
-          my_plan->total_updates(id, options.sweeps);
-      const std::uint64_t stride =
-          static_cast<std::uint64_t>(std::max<index_t>(my_plan->per_sweep(id), 1));
-      for (std::uint64_t k = 0; k < my_total; ++k) {
-        update(id, my_plan->pick(id, k));
-        // Yield once per sweep-equivalent so that on oversubscribed hosts
-        // the workers interleave instead of each burning its whole budget in
-        // a few scheduling quanta (which would make the effective delay tau
-        // unbounded and stall owner-computes partitions).
-        if (team > 1 && (k + 1) % stride == 0) std::this_thread::yield();
+  double operator()(int id, int team) {
+    const double num = reduce_.run(id, team, [&](int w, int t) {
+      const index_t k = b_.cols();
+      std::vector<double> row(static_cast<std::size_t>(k));
+      const auto [lo, hi] = detail::chunk_of(a_.rows(), w, t);
+      double acc = 0.0;
+      for (index_t i = lo; i < hi; ++i) {
+        std::fill(row.begin(), row.end(), 0.0);
+        const auto cols = a_.row_cols(i);
+        const auto vals = a_.row_vals(i);
+        for (std::size_t s = 0; s < cols.size(); ++s) {
+          const double aij = vals[s];
+          const double* x_row = x_.row(cols[s]);
+          for (index_t c = 0; c < k; ++c)
+            row[c] += aij * atomic_load_relaxed(x_row[c]);
+        }
+        const double* b_row = b_.row(i);
+        for (index_t c = 0; c < k; ++c) {
+          const double r_ic = b_row[c] - row[c];
+          acc += r_ic * r_ic;
+        }
       }
+      return acc;
     });
-    report.sweeps_done = options.sweeps;
-    report.updates = static_cast<long long>(options.sweeps) *
-                     static_cast<long long>(n);
-    return;
+    if (id != 0) return 0.0;
+    const double rn = std::sqrt(num);
+    return b_norm_ > 0.0 ? rn / b_norm_ : rn;
   }
 
-  if (options.sync == SyncMode::kBarrierPerSweep) {
-    const DirectionPlan plan(options, n, workers);
-    SpinBarrier barrier(workers);
-    std::atomic<bool> stop{false};
-    std::atomic<int> sweeps_done{0};
-    pool.run_team(workers, [&](int id, int team) {
-      const bool use_barrier = (team == workers && team > 1);
-      const DirectionPlan* my_plan = &plan;
-      DirectionPlan fallback(options, n, team);
-      if (team != workers) my_plan = &fallback;
-      const index_t mine = my_plan->per_sweep(id);
-      for (int sweep = 0; sweep < options.sweeps; ++sweep) {
-        for (index_t t = 0; t < mine; ++t)
-          update(id, my_plan->pick_in_sweep(id, sweep, t));
-        if (use_barrier) barrier.arrive_and_wait();
-        if (id == 0) {
-          sweeps_done.store(sweep + 1, std::memory_order_relaxed);
-          if (check_enabled) {
-            const double rel = residual();
-            report.final_relative_residual = rel;
-            if (options.track_history)
-              report.residual_history.push_back(rel);
-            if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
-              report.converged = true;
-              stop.store(true, std::memory_order_release);
-            }
-          }
-        }
-        if (use_barrier) barrier.arrive_and_wait();
-        if (stop.load(std::memory_order_acquire)) break;
-      }
-    });
-    report.sweeps_done = sweeps_done.load(std::memory_order_relaxed);
-    report.updates = static_cast<long long>(report.sweeps_done) *
-                     static_cast<long long>(n);
-    return;
-  }
-
-  // kTimedBarrier: rounds of `sync_interval_seconds` of free iteration
-  // followed by a rendezvous.  Each worker runs on its own clock, so all
-  // arrive at the barrier at nearly the same moment regardless of load
-  // imbalance (the Section 5 "time based scheme").
-  const DirectionPlan plan(options, n, workers);
-  SpinBarrier barrier(workers);
-  std::atomic<bool> stop{false};
-  std::atomic<long long> updates_done{0};
-  pool.run_team(workers, [&](int id, int team) {
-    const bool use_barrier = (team == workers && team > 1);
-    const DirectionPlan* my_plan = &plan;
-    DirectionPlan fallback(options, n, team);
-    if (team != workers) my_plan = &fallback;
-    const std::uint64_t my_total = my_plan->total_updates(id, options.sweeps);
-    const std::uint64_t stride = static_cast<std::uint64_t>(
-        std::max<index_t>(my_plan->per_sweep(id), 1));
-    std::uint64_t k = 0;
-    while (!stop.load(std::memory_order_acquire)) {
-      WallTimer round_timer;
-      std::uint64_t done_this_round = 0;
-      while (k < my_total) {
-        update(id, my_plan->pick(id, k));
-        ++k;
-        ++done_this_round;
-        // Once per sweep-equivalent, let the scheduler rotate workers: on an
-        // oversubscribed host a round's time budget is otherwise consumed by
-        // one worker at a time, freezing the other partitions for the whole
-        // round (catastrophic for owner-computes randomization).
-        if (team > 1 && done_this_round % stride == 0)
-          std::this_thread::yield();
-        // Clock checks are cheap but not free; amortize over 32 updates.
-        if ((done_this_round & 31u) == 0 &&
-            round_timer.seconds() >= options.sync_interval_seconds)
-          break;
-      }
-      updates_done.fetch_add(static_cast<long long>(done_this_round),
-                             std::memory_order_relaxed);
-      if (use_barrier) barrier.arrive_and_wait();
-      if (id == 0) {
-        const long long total_target =
-            static_cast<long long>(options.sweeps) *
-            static_cast<long long>(n);
-        bool should_stop =
-            updates_done.load(std::memory_order_relaxed) >= total_target;
-        if (check_enabled) {
-          const double rel = residual();
-          report.final_relative_residual = rel;
-          if (options.track_history) report.residual_history.push_back(rel);
-          if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
-            report.converged = true;
-            should_stop = true;
-          }
-        }
-        if (should_stop) stop.store(true, std::memory_order_release);
-      }
-      if (use_barrier) barrier.arrive_and_wait();
-    }
-  });
-  report.updates = updates_done.load(std::memory_order_relaxed);
-  report.sweeps_done =
-      static_cast<int>(report.updates / std::max<index_t>(n, 1));
-}
+ private:
+  const CsrMatrix& a_;
+  const MultiVector& b_;
+  const MultiVector& x_;
+  detail::TeamReduce reduce_;
+  double b_norm_;
+};
 
 }  // namespace
 
@@ -337,14 +229,21 @@ AsyncRgsReport async_rgs_solve(ThreadPool& pool, const CsrMatrix& a,
   AsyncRgsReport report;
   report.workers = workers;
 
-  auto update = [&](int /*worker*/, index_t r) {
-    update_coordinate(a, b.data(), x.data(), r, beta, inv_diag[r],
-                      options.atomic_writes);
-  };
-  auto residual = [&]() { return relative_residual(a, b, x); };
+  const std::vector<RhsDiagPair> rhs_diag = pack_rhs_diag(b, inv_diag);
+  SingleRhsResidual residual(a, b, x.data(), workers);
 
   WallTimer timer;
-  run_engine(pool, options, n, workers, update, residual, report);
+  if (options.atomic_writes) {
+    const SingleRhsUpdate<true> update{a.row_ptr().data(), a.col_idx().data(),
+                                       a.values().data(),  rhs_diag.data(),
+                                       x.data(),           beta};
+    detail::run_engine(pool, options, n, workers, update, residual, report);
+  } else {
+    const SingleRhsUpdate<false> update{a.row_ptr().data(), a.col_idx().data(),
+                                        a.values().data(),  rhs_diag.data(),
+                                        x.data(),           beta};
+    detail::run_engine(pool, options, n, workers, update, residual, report);
+  }
   report.seconds = timer.seconds();
   return report;
 }
@@ -379,36 +278,18 @@ AsyncRgsReport async_rgs_solve_block(ThreadPool& pool, const CsrMatrix& a,
   aligned_vector<double> gamma_scratch(stride *
                                        static_cast<std::size_t>(workers));
 
-  auto update = [&](int worker, index_t r) {
-    update_coordinate_block(
-        a, b, x, r, beta, inv_diag[r], options.atomic_writes,
-        gamma_scratch.data() + static_cast<std::size_t>(worker) * stride);
-  };
-  auto residual = [&]() {
-    // Serial block residual; runs only at synchronization points.
-    double num = 0.0, den = 0.0;
-    std::vector<double> row(static_cast<std::size_t>(k));
-    for (index_t i = 0; i < n; ++i) {
-      std::fill(row.begin(), row.end(), 0.0);
-      const auto cols = a.row_cols(i);
-      const auto vals = a.row_vals(i);
-      for (std::size_t s = 0; s < cols.size(); ++s) {
-        const double aij = vals[s];
-        const double* x_row = x.row(cols[s]);
-        for (index_t c = 0; c < k; ++c) row[c] += aij * x_row[c];
-      }
-      const double* b_row = b.row(i);
-      for (index_t c = 0; c < k; ++c) {
-        const double r_ic = b_row[c] - row[c];
-        num += r_ic * r_ic;
-        den += b_row[c] * b_row[c];
-      }
-    }
-    return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
-  };
+  BlockResidual residual(a, b, x, workers);
 
   WallTimer timer;
-  run_engine(pool, options, n, workers, update, residual, report);
+  if (options.atomic_writes) {
+    const BlockRhsUpdate<true> update{&a,   &b, &x, inv_diag.data(), beta,
+                                      gamma_scratch.data(), stride};
+    detail::run_engine(pool, options, n, workers, update, residual, report);
+  } else {
+    const BlockRhsUpdate<false> update{&a,   &b, &x, inv_diag.data(), beta,
+                                       gamma_scratch.data(), stride};
+    detail::run_engine(pool, options, n, workers, update, residual, report);
+  }
   report.seconds = timer.seconds();
   return report;
 }

@@ -1,0 +1,437 @@
+// Shared asynchronous execution engine (internal).
+//
+// The hot loop common to async_rgs, async_rgs_block, and async_lsq:
+// direction planning, the three synchronization modes, and team-parallel
+// residual evaluation at synchronization points.  Everything here is an
+// implementation detail of the core solvers — the header exists so that the
+// solvers share one engine and so that the determinism test suite and the
+// kernel micro-benchmarks can exercise the pieces in isolation.  No symbol
+// in asyrgs::detail is a stable public API.
+//
+// Performance notes (the properties the PR-2 overhaul established; keep
+// them when editing):
+//  * Directions are drawn in batches.  Each worker refills a reusable
+//    direction buffer via Philox4x32::fill_indices[_strided] — a few ns per
+//    draw instead of a full 10-round Philox evaluation per update — and the
+//    once-per-sweep-equivalent yield (oversubscribed hosts) and the clock
+//    check (timed mode) happen only at refill boundaries, so the per-update
+//    path contains no modulo, no branch on sync mode, and no timer call.
+//  * The update functor is a concrete struct templated on atomicity, not a
+//    std::function and not a runtime `atomic_writes` branch.
+//  * Residuals at synchronization points run as a team-wide parallel
+//    reduction over the workers already rendezvoused at the barrier, rather
+//    than serially on worker 0 while the team spins.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "asyrgs/core/async_rgs.hpp"
+#include "asyrgs/support/aligned.hpp"
+#include "asyrgs/support/barrier.hpp"
+#include "asyrgs/support/prng.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+#include "asyrgs/support/timer.hpp"
+
+namespace asyrgs::detail {
+
+/// Direction-buffer capacity: the number of picks a worker plans ahead per
+/// refill.  Large enough to amortize the batched Philox evaluation and the
+/// per-chunk bookkeeping to noise, small enough (8 KiB of indices) to stay
+/// L1-resident next to the iterate.
+inline constexpr std::size_t kDirectionChunk = 1024;
+
+/// How many picks ahead of the in-flight update the engine hands the update
+/// functor for prefetching (clamped to the chunk).  At ~25 ns/update a
+/// lookahead of 4 covers L2/L3 latency for the next rows' index/value
+/// arrays; measured best in the 2-8 range, flat beyond.
+inline constexpr std::size_t kPrefetchDistance = 4;
+
+/// Per-worker direction schedule honouring the randomization scope.
+///
+/// kShared: one Philox stream over global indices; worker w consumes
+/// positions {w, w+P, ...} (free-running/timed) or the per-sweep split
+/// (barrier mode) — all modes consume the identical direction multiset.
+///
+/// kOwnerComputes: worker w owns the contiguous partition
+/// [w*n/P-ish, ...) and draws uniformly from it via a worker-keyed stream.
+///
+/// `pick`/`pick_in_sweep` evaluate one direction (kept for tests and as the
+/// executable specification); the `fill*` APIs produce the same draws in
+/// batches and are what the engine uses.
+class DirectionPlan {
+ public:
+  DirectionPlan(const AsyncRgsOptions& options, index_t n, int team)
+      : scope_(options.scope), n_(n), team_(team), shared_(options.seed) {
+    if (scope_ == RandomizationScope::kOwnerComputes) {
+      lo_.resize(static_cast<std::size_t>(team));
+      size_.resize(static_cast<std::size_t>(team));
+      streams_.reserve(static_cast<std::size_t>(team));
+      const index_t base = n / team;
+      const index_t extra = n % team;
+      index_t lo = 0;
+      for (int w = 0; w < team; ++w) {
+        const index_t size = base + (w < extra ? 1 : 0);
+        lo_[static_cast<std::size_t>(w)] = lo;
+        size_[static_cast<std::size_t>(w)] = size;
+        lo += size;
+        streams_.emplace_back(
+            splitmix64(options.seed + 0x9E3779B97F4A7C15ull *
+                                          static_cast<std::uint64_t>(w + 1)));
+      }
+    }
+  }
+
+  /// Updates worker w performs per sweep.
+  [[nodiscard]] index_t per_sweep(int w) const {
+    if (scope_ == RandomizationScope::kOwnerComputes)
+      return size_[static_cast<std::size_t>(w)];
+    // Count of global indices congruent to w modulo team in [0, n); zero
+    // when w >= n (more workers than rows: the formula below would round
+    // the negative numerator up to 1 and steal a position from the next
+    // sweep, double-consuming it and breaking the multiset invariant).
+    if (static_cast<index_t>(w) >= n_) return 0;
+    return (n_ - 1 - static_cast<index_t>(w)) / team_ + 1;
+  }
+
+  /// Total updates worker w performs over `sweeps` sweeps in free-running /
+  /// timed numbering.  For the shared scope this counts the global indices
+  /// congruent to w modulo team in [0, sweeps*n) — exactly tiling the
+  /// global stream so the direction multiset is identical to the
+  /// sequential run.
+  [[nodiscard]] std::uint64_t total_updates(int w, int sweeps) const {
+    if (scope_ == RandomizationScope::kOwnerComputes)
+      return static_cast<std::uint64_t>(sweeps) *
+             static_cast<std::uint64_t>(size_[static_cast<std::size_t>(w)]);
+    const std::uint64_t total = static_cast<std::uint64_t>(sweeps) *
+                                static_cast<std::uint64_t>(n_);
+    if (static_cast<std::uint64_t>(w) >= total) return 0;
+    return (total - 1 - static_cast<std::uint64_t>(w)) /
+               static_cast<std::uint64_t>(team_) +
+           1;
+  }
+
+  /// Direction for worker w's k-th update (free-running/timed numbering).
+  [[nodiscard]] index_t pick(int w, std::uint64_t k) const {
+    if (scope_ == RandomizationScope::kOwnerComputes) {
+      const std::size_t sw = static_cast<std::size_t>(w);
+      return lo_[sw] + streams_[sw].index_at(k, size_[sw]);
+    }
+    const std::uint64_t j =
+        static_cast<std::uint64_t>(w) + k * static_cast<std::uint64_t>(team_);
+    return shared_.index_at(j, n_);
+  }
+
+  /// Direction for worker w's t-th update of sweep `sweep` (barrier mode).
+  [[nodiscard]] index_t pick_in_sweep(int w, int sweep, index_t t) const {
+    if (scope_ == RandomizationScope::kOwnerComputes) {
+      const std::size_t sw = static_cast<std::size_t>(w);
+      const std::uint64_t k = static_cast<std::uint64_t>(sweep) *
+                                  static_cast<std::uint64_t>(size_[sw]) +
+                              static_cast<std::uint64_t>(t);
+      return lo_[sw] + streams_[sw].index_at(k, size_[sw]);
+    }
+    const std::uint64_t j = static_cast<std::uint64_t>(sweep) *
+                                static_cast<std::uint64_t>(n_) +
+                            static_cast<std::uint64_t>(w) +
+                            static_cast<std::uint64_t>(t) *
+                                static_cast<std::uint64_t>(team_);
+    return shared_.index_at(j, n_);
+  }
+
+  /// out[i] = pick(w, k0 + i) for i in [0, count), batched.
+  void fill(int w, std::uint64_t k0, std::size_t count, index_t* out) const {
+    if (count == 0) return;
+    if (scope_ == RandomizationScope::kOwnerComputes) {
+      const std::size_t sw = static_cast<std::size_t>(w);
+      streams_[sw].fill_indices(k0, count, size_[sw], out);
+      const index_t lo = lo_[sw];
+      for (std::size_t i = 0; i < count; ++i) out[i] += lo;
+      return;
+    }
+    shared_.fill_indices_strided(
+        static_cast<std::uint64_t>(w) + k0 * static_cast<std::uint64_t>(team_),
+        static_cast<std::uint64_t>(team_), count, n_, out);
+  }
+
+  /// out[i] = pick_in_sweep(w, sweep, t0 + i) for i in [0, count), batched.
+  void fill_in_sweep(int w, int sweep, index_t t0, std::size_t count,
+                     index_t* out) const {
+    if (count == 0) return;
+    if (scope_ == RandomizationScope::kOwnerComputes) {
+      const std::size_t sw = static_cast<std::size_t>(w);
+      const std::uint64_t k0 = static_cast<std::uint64_t>(sweep) *
+                                   static_cast<std::uint64_t>(size_[sw]) +
+                               static_cast<std::uint64_t>(t0);
+      streams_[sw].fill_indices(k0, count, size_[sw], out);
+      const index_t lo = lo_[sw];
+      for (std::size_t i = 0; i < count; ++i) out[i] += lo;
+      return;
+    }
+    const std::uint64_t first = static_cast<std::uint64_t>(sweep) *
+                                    static_cast<std::uint64_t>(n_) +
+                                static_cast<std::uint64_t>(w) +
+                                static_cast<std::uint64_t>(t0) *
+                                    static_cast<std::uint64_t>(team_);
+    shared_.fill_indices_strided(first, static_cast<std::uint64_t>(team_),
+                                 count, n_, out);
+  }
+
+  [[nodiscard]] int team() const noexcept { return team_; }
+
+ private:
+  RandomizationScope scope_;
+  index_t n_;
+  int team_;
+  Philox4x32 shared_;
+  std::vector<index_t> lo_;
+  std::vector<index_t> size_;
+  std::vector<Philox4x32> streams_;
+};
+
+/// Splits [0, n) into `team` contiguous chunks (first n%team chunks one
+/// longer) and returns worker w's [lo, hi) — the partitioning used for
+/// team-parallel residual reductions.
+struct RowChunk {
+  index_t lo;
+  index_t hi;
+};
+[[nodiscard]] inline RowChunk chunk_of(index_t n, int w, int team) noexcept {
+  const index_t base = n / team;
+  const index_t extra = n % team;
+  const index_t lo = base * w + std::min<index_t>(w, extra);
+  return {lo, lo + base + (w < extra ? 1 : 0)};
+}
+
+/// Team-wide sum reduction for residual checks at synchronization points.
+/// Every rendezvoused worker calls run(id, team, partial_fn); partial_fn(w,
+/// team) returns worker w's share of the sum.  The reduced total is returned
+/// on worker 0 (other workers return 0.0, which the engine ignores).  The
+/// internal barrier is sized for the full team, so run() must be called by
+/// all `workers` participants whenever team > 1 — the engine guarantees this
+/// by invoking the residual functor between its synchronization barriers.
+class TeamReduce {
+ public:
+  explicit TeamReduce(int workers)
+      : barrier_(workers), partial_(static_cast<std::size_t>(workers)) {}
+
+  template <typename PartialFn>
+  double run(int id, int team, PartialFn&& partial) {
+    if (team <= 1) return partial(0, 1);
+    partial_[static_cast<std::size_t>(id)].value = partial(id, team);
+    barrier_.arrive_and_wait();
+    if (id != 0) return 0.0;
+    double total = 0.0;
+    for (int w = 0; w < team; ++w)
+      total += partial_[static_cast<std::size_t>(w)].value;
+    return total;
+  }
+
+  /// The barrier, for residual functors with a pre-reduction phase of their
+  /// own (e.g. least-squares: materialize r = b - Ax before reducing g).
+  [[nodiscard]] SpinBarrier& barrier() noexcept { return barrier_; }
+
+ private:
+  SpinBarrier barrier_;
+  std::vector<Padded<double>> partial_;
+};
+
+/// Generic execution engine shared by the single-RHS, block, and
+/// least-squares asynchronous solvers.
+///
+/// `update(worker, r, r_ahead)` performs one coordinate update on direction
+/// r; r_ahead is a direction the worker will execute kPrefetchDistance picks
+/// later (clamped to the refill chunk), for cache prefetching — functors may
+/// ignore it.  `residual(worker,
+/// team)` evaluates the convergence metric at synchronization points; it is
+/// called by *every* rendezvoused worker (team-parallel reduction — see
+/// TeamReduce) and only worker 0's return value is used.  The engine calls
+/// it only when options request history tracking or a tolerance.
+///
+/// The thread pool may shrink a team to 1 on nested calls; the engine then
+/// builds the matching single-worker DirectionPlan lazily instead of paying
+/// for a throwaway fallback plan in every worker.
+template <typename UpdateFn, typename ResidualFn>
+void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
+                int workers, UpdateFn&& update, ResidualFn&& residual,
+                AsyncRgsReport& report) {
+  const bool check_enabled = options.track_history || options.rel_tol > 0.0;
+  const int sweeps = options.sweeps;
+  const long long total_target =
+      static_cast<long long>(sweeps) * static_cast<long long>(n);
+
+  if (options.sync == SyncMode::kFreeRunning) {
+    const DirectionPlan plan(options, n, workers);
+    pool.run_team(workers, [&](int id, int team) {
+      // The pool may shrink the team on nested calls; rebuild the plan so
+      // the partitioning matches the actual team (lazily — the common
+      // team == workers case pays nothing).
+      std::optional<DirectionPlan> shrunk;
+      const DirectionPlan* my_plan = &plan;
+      if (team != workers) {
+        shrunk.emplace(options, n, team);
+        my_plan = &*shrunk;
+      }
+      const std::uint64_t my_total = my_plan->total_updates(id, sweeps);
+      const std::uint64_t per_sweep =
+          static_cast<std::uint64_t>(std::max<index_t>(my_plan->per_sweep(id), 1));
+      // Yield once per sweep-equivalent, checked only at refill boundaries
+      // (no per-update counter work).  On oversubscribed hosts a worker
+      // would otherwise burn its whole budget in a few scheduling quanta,
+      // making the effective delay tau unbounded and stalling owner-computes
+      // partitions; on dedicated hosts the yield stays one syscall per
+      // sweep-equivalent, never one per refill.
+      const std::size_t chunk_cap = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kDirectionChunk, per_sweep));
+      std::vector<index_t> dirs(chunk_cap);
+      std::uint64_t k = 0;
+      std::uint64_t since_yield = 0;
+      while (k < my_total) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk_cap, my_total - k));
+        my_plan->fill(id, k, chunk, dirs.data());
+        const index_t* d = dirs.data();
+        for (std::size_t i = 0; i < chunk; ++i)
+          update(id, d[i], d[std::min(i + kPrefetchDistance, chunk - 1)]);
+        k += chunk;
+        since_yield += chunk;
+        if (team > 1 && since_yield >= per_sweep) {
+          since_yield = 0;
+          std::this_thread::yield();
+        }
+      }
+    });
+    report.sweeps_done = sweeps;
+    report.updates = total_target;
+    return;
+  }
+
+  if (options.sync == SyncMode::kBarrierPerSweep) {
+    const DirectionPlan plan(options, n, workers);
+    SpinBarrier barrier(workers);
+    std::atomic<bool> stop{false};
+    std::atomic<int> sweeps_done{0};
+    pool.run_team(workers, [&](int id, int team) {
+      const bool full_team = (team == workers && team > 1);
+      std::optional<DirectionPlan> shrunk;
+      const DirectionPlan* my_plan = &plan;
+      if (team != workers) {
+        shrunk.emplace(options, n, team);
+        my_plan = &*shrunk;
+      }
+      const index_t mine = my_plan->per_sweep(id);
+      std::vector<index_t> dirs(static_cast<std::size_t>(
+          std::min<index_t>(static_cast<index_t>(kDirectionChunk),
+                            std::max<index_t>(mine, 1))));
+      for (int sweep = 0; sweep < sweeps; ++sweep) {
+        index_t t = 0;
+        while (t < mine) {
+          const std::size_t chunk = static_cast<std::size_t>(
+              std::min<index_t>(static_cast<index_t>(dirs.size()), mine - t));
+          my_plan->fill_in_sweep(id, sweep, t, chunk, dirs.data());
+          const index_t* d = dirs.data();
+          for (std::size_t i = 0; i < chunk; ++i)
+            update(id, d[i], d[std::min(i + kPrefetchDistance, chunk - 1)]);
+          t += static_cast<index_t>(chunk);
+        }
+        if (full_team) barrier.arrive_and_wait();
+        const double rel = check_enabled ? residual(id, team) : 0.0;
+        if (id == 0) {
+          sweeps_done.store(sweep + 1, std::memory_order_relaxed);
+          if (check_enabled) {
+            report.final_relative_residual = rel;
+            if (options.track_history) report.residual_history.push_back(rel);
+            if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
+              report.converged = true;
+              stop.store(true, std::memory_order_release);
+            }
+          }
+        }
+        if (full_team) barrier.arrive_and_wait();
+        if (stop.load(std::memory_order_acquire)) break;
+      }
+    });
+    report.sweeps_done = sweeps_done.load(std::memory_order_relaxed);
+    report.updates = static_cast<long long>(report.sweeps_done) *
+                     static_cast<long long>(n);
+    return;
+  }
+
+  // kTimedBarrier: rounds of `sync_interval_seconds` of free iteration
+  // followed by a rendezvous.  Each worker runs on its own clock, so all
+  // arrive at the barrier at nearly the same moment regardless of load
+  // imbalance (the Section 5 "time based scheme").  The clock is consulted
+  // once per direction-buffer refill — at most kDirectionChunk (and at most
+  // one sweep-equivalent) of updates between checks.
+  const DirectionPlan plan(options, n, workers);
+  SpinBarrier barrier(workers);
+  std::atomic<bool> stop{false};
+  std::atomic<long long> updates_done{0};
+  pool.run_team(workers, [&](int id, int team) {
+    const bool full_team = (team == workers && team > 1);
+    std::optional<DirectionPlan> shrunk;
+    const DirectionPlan* my_plan = &plan;
+    if (team != workers) {
+      shrunk.emplace(options, n, team);
+      my_plan = &*shrunk;
+    }
+    const std::uint64_t my_total = my_plan->total_updates(id, sweeps);
+    const std::uint64_t per_sweep = static_cast<std::uint64_t>(
+        std::max<index_t>(my_plan->per_sweep(id), 1));
+    const std::size_t chunk_cap = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kDirectionChunk, per_sweep));
+    std::vector<index_t> dirs(chunk_cap);
+    std::uint64_t k = 0;
+    std::uint64_t since_yield = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      WallTimer round_timer;
+      std::uint64_t done_this_round = 0;
+      while (k < my_total) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk_cap, my_total - k));
+        my_plan->fill(id, k, chunk, dirs.data());
+        const index_t* d = dirs.data();
+        for (std::size_t i = 0; i < chunk; ++i)
+          update(id, d[i], d[std::min(i + kPrefetchDistance, chunk - 1)]);
+        k += chunk;
+        done_this_round += chunk;
+        // Refill boundary: yield once per sweep-equivalent so the scheduler
+        // rotates the team, then check whether this round's time budget is
+        // spent (clock consulted per refill, not per update).
+        since_yield += chunk;
+        if (team > 1 && since_yield >= per_sweep) {
+          since_yield = 0;
+          std::this_thread::yield();
+        }
+        if (round_timer.seconds() >= options.sync_interval_seconds) break;
+      }
+      updates_done.fetch_add(static_cast<long long>(done_this_round),
+                             std::memory_order_relaxed);
+      if (full_team) barrier.arrive_and_wait();
+      const double rel = check_enabled ? residual(id, team) : 0.0;
+      if (id == 0) {
+        bool should_stop =
+            updates_done.load(std::memory_order_relaxed) >= total_target;
+        if (check_enabled) {
+          report.final_relative_residual = rel;
+          if (options.track_history) report.residual_history.push_back(rel);
+          if (options.rel_tol > 0.0 && rel <= options.rel_tol) {
+            report.converged = true;
+            should_stop = true;
+          }
+        }
+        if (should_stop) stop.store(true, std::memory_order_release);
+      }
+      if (full_team) barrier.arrive_and_wait();
+    }
+  });
+  report.updates = updates_done.load(std::memory_order_relaxed);
+  report.sweeps_done =
+      static_cast<int>(report.updates / std::max<index_t>(n, 1));
+}
+
+}  // namespace asyrgs::detail

@@ -47,19 +47,33 @@ RgsReport rgs_solve(const CsrMatrix& a, const std::vector<double>& b,
   RgsReport report;
   std::uint64_t j = 0;  // global update counter = Philox stream position
 
+  // Directions drawn in batches via the bulk Philox API — the identical
+  // stream to per-call index_at, several times cheaper per draw.
+  std::vector<index_t> picks(static_cast<std::size_t>(
+      std::min<index_t>(std::max<index_t>(n, 1), 1024)));
+  const nnz_t* rp = a.row_ptr().data();
+  const index_t* ci = a.col_idx().data();
+  const double* av = a.values().data();
+
   for (int sweep = 1; sweep <= options.sweeps; ++sweep) {
-    for (index_t t = 0; t < n; ++t, ++j) {
-      const index_t r = dirs.index_at(j, n);
-      // Canonical update arithmetic (identical association across the
-      // sequential, block, and asynchronous implementations so that
-      // equal-seed runs agree bit for bit): acc = b_r - sum A_rj x_j taken
-      // one subtraction at a time, then x_r += beta * (acc / A_rr).
-      double acc = b[r];
-      const auto cols = a.row_cols(r);
-      const auto vals = a.row_vals(r);
-      for (std::size_t s = 0; s < cols.size(); ++s)
-        acc -= vals[s] * x[cols[s]];
-      x[r] += beta * (acc * inv_diag[r]);
+    index_t done = 0;
+    while (done < n) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<index_t>(static_cast<index_t>(picks.size()), n - done));
+      dirs.fill_indices(j, chunk, n, picks.data());
+      for (std::size_t u = 0; u < chunk; ++u) {
+        const index_t r = picks[u];
+        // Canonical update arithmetic (identical association across the
+        // sequential, block, and asynchronous implementations so that
+        // equal-seed runs agree bit for bit): acc = b_r - sum A_rj x_j taken
+        // one subtraction at a time, then x_r += beta * (acc / A_rr).
+        const nnz_t lo = rp[r];
+        const double acc =
+            csr_row_sub_dot(b[r], ci + lo, av + lo, rp[r + 1] - lo, x.data());
+        x[r] += beta * (acc * inv_diag[r]);
+      }
+      j += chunk;
+      done += static_cast<index_t>(chunk);
     }
     report.sweeps_done = sweep;
     report.updates += n;
@@ -96,23 +110,33 @@ RgsReport rgs_solve_block(const CsrMatrix& a, const MultiVector& b,
   RgsReport report;
   std::uint64_t j = 0;
   std::vector<double> gamma(static_cast<std::size_t>(k));
+  std::vector<index_t> picks(static_cast<std::size_t>(
+      std::min<index_t>(std::max<index_t>(n, 1), 1024)));
 
   for (int sweep = 1; sweep <= options.sweeps; ++sweep) {
-    for (index_t t = 0; t < n; ++t, ++j) {
-      const index_t r = dirs.index_at(j, n);
-      // gamma_c = (B(r,c) - A_r X(:,c)) / A_rr for all c, fused.
-      const double* b_row = b.row(r);
-      for (index_t c = 0; c < k; ++c) gamma[c] = b_row[c];
-      const auto cols = a.row_cols(r);
-      const auto vals = a.row_vals(r);
-      for (std::size_t s = 0; s < cols.size(); ++s) {
-        const double arj = vals[s];
-        const double* x_row = x.row(cols[s]);
-        for (index_t c = 0; c < k; ++c) gamma[c] -= arj * x_row[c];
+    index_t done = 0;
+    while (done < n) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<index_t>(static_cast<index_t>(picks.size()), n - done));
+      dirs.fill_indices(j, chunk, n, picks.data());
+      for (std::size_t u = 0; u < chunk; ++u) {
+        const index_t r = picks[u];
+        // gamma_c = (B(r,c) - A_r X(:,c)) / A_rr for all c, fused.
+        const double* b_row = b.row(r);
+        for (index_t c = 0; c < k; ++c) gamma[c] = b_row[c];
+        const auto cols = a.row_cols(r);
+        const auto vals = a.row_vals(r);
+        for (std::size_t s = 0; s < cols.size(); ++s) {
+          const double arj = vals[s];
+          const double* x_row = x.row(cols[s]);
+          for (index_t c = 0; c < k; ++c) gamma[c] -= arj * x_row[c];
+        }
+        double* xr = x.row(r);
+        for (index_t c = 0; c < k; ++c)
+          xr[c] += beta * (gamma[c] * inv_diag[r]);
       }
-      double* xr = x.row(r);
-      for (index_t c = 0; c < k; ++c)
-        xr[c] += beta * (gamma[c] * inv_diag[r]);
+      j += chunk;
+      done += static_cast<index_t>(chunk);
     }
     report.sweeps_done = sweep;
     report.updates += n;

@@ -43,11 +43,9 @@ double CsrMatrix::at(index_t i, index_t j) const {
 }
 
 double CsrMatrix::row_dot(index_t i, const double* x) const noexcept {
-  double acc = 0.0;
   const nnz_t lo = row_ptr_[i];
-  const nnz_t hi = row_ptr_[i + 1];
-  for (nnz_t t = lo; t < hi; ++t) acc += values_[t] * x[col_idx_[t]];
-  return acc;
+  return csr_row_dot(col_idx_.data() + lo, values_.data() + lo,
+                     row_ptr_[i + 1] - lo, x);
 }
 
 void CsrMatrix::multiply(const double* x, double* y) const {

@@ -12,6 +12,39 @@
 
 namespace asyrgs {
 
+// ---------------------------------------------------------------------------
+// Raw CSR row kernels
+// ---------------------------------------------------------------------------
+//
+// The innermost loops of every solver are scans of one CSR row against a
+// dense vector.  These free kernels take raw `__restrict`-qualified arrays —
+// CSR index/value storage never aliases the dense operand — so the compiler
+// can keep the row pointers in registers and schedule the loads freely.
+// They are shared by the sequential solvers (rgs, rcd_lsq), SpMV, and the
+// benches; the asynchronous kernels use their own variants with
+// relaxed-atomic reads of the shared iterate.
+
+/// Sum of vals[t] * x[cols[t]] over one row (SpMV / dot building block).
+[[nodiscard]] inline double csr_row_dot(const index_t* __restrict cols,
+                                        const double* __restrict vals,
+                                        nnz_t len,
+                                        const double* __restrict x) noexcept {
+  double acc = 0.0;
+  for (nnz_t t = 0; t < len; ++t) acc += vals[t] * x[cols[t]];
+  return acc;
+}
+
+/// acc minus the row/vector products, one subtraction per nonzero — the
+/// canonical Gauss-Seidel association (`acc = b_r`, then acc -= A_rj x_j in
+/// column order) that every solver shares so equal-seed runs agree bit for
+/// bit.
+[[nodiscard]] inline double csr_row_sub_dot(
+    double acc, const index_t* __restrict cols, const double* __restrict vals,
+    nnz_t len, const double* __restrict x) noexcept {
+  for (nnz_t t = 0; t < len; ++t) acc -= vals[t] * x[cols[t]];
+  return acc;
+}
+
 /// Sparse rows x cols matrix in CSR format with sorted column indices.
 class CsrMatrix {
  public:

@@ -127,6 +127,35 @@ class Philox4x32 {
     return static_cast<double>(at(index) >> 11) * 0x1.0p-53;
   }
 
+  // --- bulk (batched) evaluation --------------------------------------------
+  //
+  // The asynchronous solvers draw one direction per coordinate update; at a
+  // full Philox evaluation per draw the generator is a measurable share of
+  // the update cost.  The fill_* APIs produce whole blocks of draws at once:
+  // both 64-bit halves of each 128-bit Philox block are consumed where the
+  // access pattern allows it, and the 10 rounds are pipelined across several
+  // independent counters (8- or 4-wide SIMD over blocks when the CPU has
+  // AVX-512/AVX2, with an unrolled scalar path everywhere else; dispatched
+  // at runtime).  Every function below is
+  // a pure restatement of the random-access primitives: element i of the
+  // output equals at()/index_at() evaluated at the same stream position,
+  // bit for bit, so batching never changes the direction multiset.
+
+  /// out[i] = at(first + i) for i in [0, count).
+  void fill_at(std::uint64_t first, std::size_t count,
+               std::uint64_t* out) const noexcept;
+
+  /// out[i] = index_at(first + i, n) for i in [0, count).  n > 0.
+  void fill_indices(std::uint64_t first, std::size_t count, index_t n,
+                    index_t* out) const noexcept;
+
+  /// out[i] = index_at(first + i * stride, n) for i in [0, count): the
+  /// access pattern of asynchronous worker w in a team of P (first = w,
+  /// stride = P).  stride >= 1; stride == 1 delegates to fill_indices.
+  void fill_indices_strided(std::uint64_t first, std::uint64_t stride,
+                            std::size_t count, index_t n,
+                            index_t* out) const noexcept;
+
   [[nodiscard]] Key key() const noexcept { return key_; }
 
  private:
