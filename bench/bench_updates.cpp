@@ -1,5 +1,6 @@
 // Updates/second of the asynchronous update engine, current vs the pre-PR2
-// baseline, plus the residual-check cost at synchronization points.
+// baseline, pinned vs reassociated scan mode, plus the residual-check cost
+// at synchronization points.
 //
 // This driver anchors the repo's measured performance trajectory: it emits a
 // machine-readable BENCH_<label>.json (schema documented in bench/README.md)
@@ -190,6 +191,7 @@ struct Measurement {
   std::string workload;  // "gram_engine_bound" | "gram_scan_bound"
   std::string engine;    // "legacy" | "current"
   std::string mode;      // "free_running" | "barrier_residual"
+  std::string scan;      // "pinned" | "reassociated" (legacy is always pinned)
   int workers = 0;
   long long updates = 0;
   double seconds = 0.0;
@@ -286,17 +288,20 @@ int main(int argc, char** argv) {
   for (std::int64_t t : *threads_opt)
     worker_sweep.push_back(static_cast<int>(t));
   if (worker_sweep.empty()) worker_sweep = {1, 2, 4};
-  // The headline ratio needs its worker count measured; without this a
-  // custom --threads list omitting it would silently record speedup 0.
+  // The headline ratios need their worker counts measured; without this a
+  // custom --threads list omitting them would silently record speedup 0.
   if (std::find(worker_sweep.begin(), worker_sweep.end(),
                 static_cast<int>(*headline)) == worker_sweep.end())
     worker_sweep.push_back(static_cast<int>(*headline));
+  if (std::find(worker_sweep.begin(), worker_sweep.end(), 1) ==
+      worker_sweep.end())
+    worker_sweep.push_back(1);  // scan_headline is measured at 1 worker
   int max_workers = 1;
   for (int w : worker_sweep) max_workers = std::max(max_workers, w);
   ThreadPool pool(max_workers);
 
   std::vector<Measurement> results;
-  Table table({"workload", "workers", "engine", "mode", "updates/s",
+  Table table({"workload", "workers", "engine", "mode", "scan", "updates/s",
                "ns/update", "check_s/sweep"});
 
   for (WorkloadSpec& spec : workloads) {
@@ -326,26 +331,40 @@ int main(int argc, char** argv) {
       opt.workers = workers;
 
       // --- free-running updates/second ----------------------------------
-      for (bool current : {false, true}) {
+      // Three rows per worker count: the pre-PR2 legacy engine (pinned by
+      // construction), the current engine on the default pinned scan, and
+      // the current engine with the opt-in reassociated scan — so every
+      // BENCH json reports both scan modes side by side.
+      struct FreeRunRow {
+        bool current;
+        ScanMode scan;
+      };
+      for (const FreeRunRow row :
+           {FreeRunRow{false, ScanMode::kPinned},
+            FreeRunRow{true, ScanMode::kPinned},
+            FreeRunRow{true, ScanMode::kReassociated}}) {
         AsyncRgsOptions run_opt = opt;
         run_opt.sync = SyncMode::kFreeRunning;
+        run_opt.scan = row.scan;
         const double secs = time_run([&](std::vector<double>& x) {
           const AsyncRgsReport r =
-              current ? async_rgs_solve(pool, a, b, x, run_opt)
-                      : legacy::solve_free_running(pool, a, b, x, run_opt);
+              row.current ? async_rgs_solve(pool, a, b, x, run_opt)
+                          : legacy::solve_free_running(pool, a, b, x, run_opt);
           return r.seconds;
         });
         Measurement m;
         m.workload = spec.name;
-        m.engine = current ? "current" : "legacy";
+        m.engine = row.current ? "current" : "legacy";
         m.mode = "free_running";
+        m.scan =
+            row.scan == ScanMode::kReassociated ? "reassociated" : "pinned";
         m.workers = workers;
         m.updates = static_cast<long long>(n_sweeps) * n;
         m.seconds = secs;
         m.updates_per_second = static_cast<double>(m.updates) / secs;
         results.push_back(m);
         table.add_row(
-            {spec.name, std::to_string(workers), m.engine, m.mode,
+            {spec.name, std::to_string(workers), m.engine, m.mode, m.scan,
              fmt_sci(m.updates_per_second),
              fmt_fixed(1e9 * secs / static_cast<double>(m.updates), 1), "-"});
       }
@@ -375,6 +394,7 @@ int main(int argc, char** argv) {
         m.workload = spec.name;
         m.engine = current ? "current" : "legacy";
         m.mode = "barrier_residual";
+        m.scan = "pinned";
         m.workers = workers;
         m.updates = static_cast<long long>(n_sweeps) * n;
         m.seconds = secs_tracked;
@@ -383,7 +403,7 @@ int main(int argc, char** argv) {
             std::max(0.0, (secs_tracked - secs_plain) / n_sweeps);
         results.push_back(m);
         table.add_row({spec.name, std::to_string(workers), m.engine, m.mode,
-                       fmt_sci(m.updates_per_second),
+                       m.scan, fmt_sci(m.updates_per_second),
                        fmt_fixed(1e9 * secs_tracked /
                                      static_cast<double>(m.updates),
                                  1),
@@ -398,7 +418,7 @@ int main(int argc, char** argv) {
   double legacy_ups = 0.0, current_ups = 0.0;
   for (const Measurement& m : results) {
     if (m.workload != headline_workload || m.mode != "free_running" ||
-        m.workers != *headline)
+        m.workers != *headline || m.scan != "pinned")
       continue;
     (m.engine == "current" ? current_ups : legacy_ups) = m.updates_per_second;
   }
@@ -408,12 +428,36 @@ int main(int argc, char** argv) {
             << " current=" << fmt_sci(current_ups)
             << " speedup=" << fmt_fixed(speedup, 2) << "x\n";
 
+  // --- scan-mode headline -------------------------------------------------
+  // Pinned vs reassociated on the current engine at 1 worker, in the
+  // scan-bound regime where the row scan's FP association is the binding
+  // constraint (falls back to the headline workload under
+  // --skip-scan-workload).  One worker isolates the kernel change from
+  // scheduling noise on oversubscribed hosts.
+  const std::string scan_workload =
+      workloads.back().name;  // gram_scan_bound unless skipped
+  double scan_pinned_ups = 0.0, scan_reassoc_ups = 0.0;
+  for (const Measurement& m : results) {
+    if (m.workload != scan_workload || m.mode != "free_running" ||
+        m.workers != 1 || m.engine != "current")
+      continue;
+    (m.scan == "reassociated" ? scan_reassoc_ups : scan_pinned_ups) =
+        m.updates_per_second;
+  }
+  const double scan_speedup =
+      scan_pinned_ups > 0.0 ? scan_reassoc_ups / scan_pinned_ups : 0.0;
+  std::cout << "# scan headline (" << scan_workload
+            << ", free-running, 1 worker, current engine): pinned="
+            << fmt_sci(scan_pinned_ups)
+            << " reassociated=" << fmt_sci(scan_reassoc_ups)
+            << " speedup=" << fmt_fixed(scan_speedup, 2) << "x\n";
+
   // --- JSON --------------------------------------------------------------
   const std::string path =
       (*out_path).empty() ? "BENCH_" + *label + ".json" : *out_path;
   std::ofstream json(path);
   json << "{\n"
-       << "  \"schema_version\": 2,\n"
+       << "  \"schema_version\": 3,\n"
        << "  \"bench\": \"bench_updates\",\n"
        << "  \"label\": \"" << json_escape(*label) << "\",\n"
        << "  \"git\": \"" << json_escape(*git_rev) << "\",\n"
@@ -437,8 +481,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
     json << "    {\"workload\": \"" << m.workload << "\", \"engine\": \""
-         << m.engine << "\", \"mode\": \"" << m.mode
-         << "\", \"workers\": " << m.workers << ", \"updates\": " << m.updates
+         << m.engine << "\", \"mode\": \"" << m.mode << "\", \"scan\": \""
+         << m.scan << "\", \"workers\": " << m.workers
+         << ", \"updates\": " << m.updates
          << ", \"seconds\": " << m.seconds
          << ", \"updates_per_second\": " << m.updates_per_second;
     if (m.mode == "barrier_residual")
@@ -451,7 +496,12 @@ int main(int argc, char** argv) {
        << "\", \"mode\": \"free_running\", \"workers\": " << *headline
        << ", \"legacy_updates_per_second\": " << legacy_ups
        << ", \"current_updates_per_second\": " << current_ups
-       << ", \"speedup\": " << speedup << "}\n"
+       << ", \"speedup\": " << speedup << "},\n"
+       << "  \"scan_headline\": {\"workload\": \"" << scan_workload
+       << "\", \"mode\": \"free_running\", \"workers\": 1"
+       << ", \"pinned_updates_per_second\": " << scan_pinned_ups
+       << ", \"reassociated_updates_per_second\": " << scan_reassoc_ups
+       << ", \"speedup\": " << scan_speedup << "}\n"
        << "}\n";
   std::cout << "# wrote " << path << "\n";
   return 0;

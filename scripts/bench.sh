@@ -43,3 +43,18 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
   --git "$git_rev" --out "BENCH_${label}.json" "$@"
 
 echo "bench.sh: wrote BENCH_${label}.json"
+
+# Side-by-side scan-mode summary (schema v3: docs/TUNING.md).  Best effort —
+# the JSON is the artifact; this line is for the terminal.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "BENCH_${label}.json" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+s = d.get("scan_headline")
+if s:
+    print("bench.sh: scan mode (%s, 1 worker): pinned=%.3g upd/s "
+          "reassociated=%.3g upd/s speedup=%.2fx"
+          % (s["workload"], s["pinned_updates_per_second"],
+             s["reassociated_updates_per_second"], s["speedup"]))
+PYEOF
+fi

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Checks intra-repository markdown links: every relative [text](target)
+# in the repo's committed *.md files must point at an existing file (or
+# directory).  External links (scheme://), pure anchors (#...), and
+# mailto: are skipped; a target's "#fragment" suffix is stripped before
+# the existence check.  Exits non-zero listing every broken reference.
+#
+# Usage: scripts/check_docs_links.sh   (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+python3 - <<'PYEOF'
+import os
+import re
+import sys
+
+# Committed markdown only: walk the tree, skipping build trees and vendored
+# third-party code the same way a reader of the repository would.
+SKIP_DIRS = {".git", "third_party", "node_modules"}
+SKIP_PREFIXES = ("build",)
+
+md_files = []
+for root, dirs, files in os.walk("."):
+    dirs[:] = [
+        d for d in dirs
+        if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+    ]
+    md_files.extend(
+        os.path.join(root, f) for f in files if f.endswith(".md"))
+
+# Inline links [text](target); images ![alt](target) match the same shape.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+broken = []
+for path in sorted(md_files):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Fenced code blocks hold example syntax, not navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # scheme://
+            continue
+        if target.startswith("#"):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            broken.append(f"{path}: [{target}] -> {resolved}")
+
+if broken:
+    print("check_docs_links: broken intra-repo references:")
+    for line in broken:
+        print(f"  {line}")
+    sys.exit(1)
+print(f"check_docs_links: OK ({len(md_files)} markdown files)")
+PYEOF

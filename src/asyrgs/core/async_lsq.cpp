@@ -40,8 +40,11 @@ double normal_residual(const CsrMatrix& a, const std::vector<double>& b,
 
 /// One asynchronous column update (iteration (21)): the residual entries for
 /// the column's rows are recomputed from shared x on every step.  Specialized
-/// at compile time on the atomicity mode.
-template <bool kAtomicWrites>
+/// at compile time on the atomicity mode and on the scan mode — the inner
+/// r_i = b_i - A_i x row scans are this kernel's dominant FP cost, so
+/// ScanMode::kReassociated routes them through the multi-accumulator/SIMD
+/// kernel (plain vector reads of the shared iterate; see sparse/csr.hpp).
+template <bool kAtomicWrites, ScanMode kScan>
 struct LsqUpdate {
   const CsrMatrix* a;
   const CsrMatrix* at;
@@ -58,12 +61,21 @@ struct LsqUpdate {
     double gamma = 0.0;
     for (std::size_t s = 0; s < rows.size(); ++s) {
       const index_t i = rows[s];
-      // r_i = b_i - A_i x with relaxed-atomic reads of the shared iterate.
-      double ri = b[i];
-      const auto arow_cols = a->row_cols(i);
-      const auto arow_vals = a->row_vals(i);
-      for (std::size_t q = 0; q < arow_cols.size(); ++q)
-        ri -= arow_vals[q] * atomic_load_relaxed(x[arow_cols[q]]);
+      // r_i = b_i - A_i x; pinned mode reads the shared iterate with
+      // relaxed-atomic loads, reassociated mode with vector gathers.
+      double ri;
+      if constexpr (kScan == ScanMode::kReassociated) {
+        const auto arow_cols = a->row_cols(i);
+        const auto arow_vals = a->row_vals(i);
+        ri = csr_row_sub_dot_reassoc(b[i], arow_cols.data(), arow_vals.data(),
+                                     static_cast<nnz_t>(arow_cols.size()), x);
+      } else {
+        ri = b[i];
+        const auto arow_cols = a->row_cols(i);
+        const auto arow_vals = a->row_vals(i);
+        for (std::size_t q = 0; q < arow_cols.size(); ++q)
+          ri -= arow_vals[q] * atomic_load_relaxed(x[arow_cols[q]]);
+      }
       gamma += col_vals[s] * ri;
     }
     const double delta = beta * gamma / col_sq[j];
@@ -84,7 +96,12 @@ class LsqResidual {
   LsqResidual(const CsrMatrix& a, const CsrMatrix& at,
               const std::vector<double>& b, const double* x, int workers,
               bool enabled)
-      : a_(a), at_(at), b_(b), x_(x), reduce_(workers) {
+      : a_(a),
+        at_(at),
+        b_(b),
+        x_(x),
+        reduce_(workers),
+        serial_(!detail::team_residual_profitable(workers)) {
     if (!enabled) return;
     r_.resize(static_cast<std::size_t>(a.rows()));
     std::vector<double> g0(static_cast<std::size_t>(a.cols()));
@@ -93,9 +110,18 @@ class LsqResidual {
   }
 
   double operator()(int id, int team) {
-    // Phase 1: r = b - A x over this worker's row chunk.
+    // Oversubscribed host: both phases run serially on worker 0 with the
+    // same chunked association as the team-parallel path (see
+    // TeamReduce::run_serial and docs/TUNING.md for the heuristic); the
+    // other workers return straight to the engine's synchronization
+    // barrier.
+    if (serial_ && id != 0) return 0.0;
+    // Phase 1: r = b - A x over this worker's row chunk (the whole range
+    // when serial; the entries are independent, so chunking does not
+    // affect their values).
     {
-      const auto [lo, hi] = detail::chunk_of(a_.rows(), id, team);
+      const auto [lo, hi] = serial_ ? detail::chunk_of(a_.rows(), 0, 1)
+                                    : detail::chunk_of(a_.rows(), id, team);
       for (index_t i = lo; i < hi; ++i) {
         double ri = b_[i];
         const auto cols = a_.row_cols(i);
@@ -105,9 +131,9 @@ class LsqResidual {
         r_[static_cast<std::size_t>(i)] = ri;
       }
     }
-    if (team > 1) reduce_.barrier().arrive_and_wait();
+    if (!serial_ && team > 1) reduce_.barrier().arrive_and_wait();
     // Phase 2: ||A^T r||^2 over this worker's chunk of A^T rows.
-    const double num = reduce_.run(id, team, [&](int w, int t) {
+    const auto partial = [&](int w, int t) {
       const auto [lo, hi] = detail::chunk_of(at_.rows(), w, t);
       double acc = 0.0;
       for (index_t j = lo; j < hi; ++j) {
@@ -119,7 +145,9 @@ class LsqResidual {
         acc += g * g;
       }
       return acc;
-    });
+    };
+    const double num = serial_ ? reduce_.run_serial(team, partial)
+                               : reduce_.run(id, team, partial);
     if (id != 0) return 0.0;
     const double rn = std::sqrt(num);
     return denom_ > 0.0 ? rn / denom_ : rn;
@@ -131,6 +159,7 @@ class LsqResidual {
   const std::vector<double>& b_;
   const double* x_;
   detail::TeamReduce reduce_;
+  bool serial_;
   std::vector<double> r_;
   double denom_ = 0.0;
 };
@@ -235,15 +264,11 @@ AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
   LsqResidual residual(a, at, b, x.data(), workers, check);
 
   WallTimer timer;
-  if (options.atomic_writes) {
-    const LsqUpdate<true> update{&a, &at, b.data(), col_sq.data(), x.data(),
-                                 beta};
+  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
+    const LsqUpdate<kAtomic, kScan> update{&a,           &at,      b.data(),
+                                           col_sq.data(), x.data(), beta};
     detail::run_engine(pool, options, n, workers, update, residual, report);
-  } else {
-    const LsqUpdate<false> update{&a, &at, b.data(), col_sq.data(), x.data(),
-                                  beta};
-    detail::run_engine(pool, options, n, workers, update, residual, report);
-  }
+  });
   report.seconds = timer.seconds();
   return report;
 }

@@ -48,12 +48,15 @@ std::vector<RhsDiagPair> pack_rhs_diag(const std::vector<double>& b,
 }
 
 /// One asynchronous coordinate update on the shared single-RHS iterate,
-/// specialized at compile time on the atomicity mode so the hot loop carries
-/// no per-update branch.  All reads of x are relaxed-atomic; the write
-/// honours the mode.  The arithmetic association (one subtraction per
-/// nonzero, then beta * (acc / A_rr)) is kept identical to the sequential
-/// solver so that a one-worker run reproduces it bit for bit.
-template <bool kAtomicWrites>
+/// specialized at compile time on the atomicity mode AND the scan mode so
+/// the hot loop carries no per-update branch and the pinned path compiles to
+/// exactly the pre-ScanMode code.  Pinned: relaxed-atomic reads of x, one
+/// subtraction per nonzero in column order — identical arithmetic to the
+/// sequential solver, so a one-worker run reproduces it bit for bit.
+/// Reassociated: the multi-accumulator/SIMD kernel from sparse/csr.hpp with
+/// plain vector reads of x (see the contract there); the write path is
+/// unchanged.
+template <bool kAtomicWrites, ScanMode kScan>
 struct SingleRhsUpdate {
   const nnz_t* row_ptr;
   const index_t* cols;
@@ -78,8 +81,12 @@ struct SingleRhsUpdate {
     double acc = bd[r].b;
     const nnz_t lo = rp[r];
     const nnz_t hi = rp[r + 1];
-    for (nnz_t t = lo; t < hi; ++t)
-      acc -= av[t] * atomic_load_relaxed(x[ci[t]]);
+    if constexpr (kScan == ScanMode::kReassociated) {
+      acc = csr_row_sub_dot_reassoc(acc, ci + lo, av + lo, hi - lo, x);
+    } else {
+      for (nnz_t t = lo; t < hi; ++t)
+        acc -= av[t] * atomic_load_relaxed(x[ci[t]]);
+    }
     const double delta = beta * (acc * bd[r].inv_diag);
     if constexpr (kAtomicWrites)
       atomic_add_relaxed(x[r], delta);
@@ -136,10 +143,15 @@ class SingleRhsResidual {
  public:
   SingleRhsResidual(const CsrMatrix& a, const std::vector<double>& b,
                     const double* x, int workers)
-      : a_(a), b_(b), x_(x), reduce_(workers), b_norm_(nrm2(b)) {}
+      : a_(a),
+        b_(b),
+        x_(x),
+        reduce_(workers),
+        serial_(!detail::team_residual_profitable(workers)),
+        b_norm_(nrm2(b)) {}
 
   double operator()(int id, int team) {
-    const double num = reduce_.run(id, team, [&](int w, int t) {
+    const auto partial = [&](int w, int t) {
       const auto [lo, hi] = detail::chunk_of(a_.rows(), w, t);
       double acc = 0.0;
       for (index_t i = lo; i < hi; ++i) {
@@ -151,7 +163,14 @@ class SingleRhsResidual {
         acc += ri * ri;
       }
       return acc;
-    });
+    };
+    // Oversubscribed host: the reduction barriers would cost scheduler
+    // round-trips, so worker 0 evaluates the same chunked partials alone
+    // (bit-identical association — see TeamReduce::run_serial) while the
+    // rest return to the engine's own synchronization barrier.
+    if (serial_ && id != 0) return 0.0;
+    const double num = serial_ ? reduce_.run_serial(team, partial)
+                               : reduce_.run(id, team, partial);
     if (id != 0) return 0.0;
     const double rn = std::sqrt(num);
     return b_norm_ > 0.0 ? rn / b_norm_ : rn;
@@ -162,6 +181,7 @@ class SingleRhsResidual {
   const std::vector<double>& b_;
   const double* x_;
   detail::TeamReduce reduce_;
+  bool serial_;
   double b_norm_;
 };
 
@@ -171,10 +191,15 @@ class BlockResidual {
  public:
   BlockResidual(const CsrMatrix& a, const MultiVector& b, const MultiVector& x,
                 int workers)
-      : a_(a), b_(b), x_(x), reduce_(workers), b_norm_(frobenius_norm(b)) {}
+      : a_(a),
+        b_(b),
+        x_(x),
+        reduce_(workers),
+        serial_(!detail::team_residual_profitable(workers)),
+        b_norm_(frobenius_norm(b)) {}
 
   double operator()(int id, int team) {
-    const double num = reduce_.run(id, team, [&](int w, int t) {
+    const auto partial = [&](int w, int t) {
       const index_t k = b_.cols();
       std::vector<double> row(static_cast<std::size_t>(k));
       const auto [lo, hi] = detail::chunk_of(a_.rows(), w, t);
@@ -196,7 +221,10 @@ class BlockResidual {
         }
       }
       return acc;
-    });
+    };
+    if (serial_ && id != 0) return 0.0;  // see SingleRhsResidual
+    const double num = serial_ ? reduce_.run_serial(team, partial)
+                               : reduce_.run(id, team, partial);
     if (id != 0) return 0.0;
     const double rn = std::sqrt(num);
     return b_norm_ > 0.0 ? rn / b_norm_ : rn;
@@ -207,6 +235,7 @@ class BlockResidual {
   const MultiVector& b_;
   const MultiVector& x_;
   detail::TeamReduce reduce_;
+  bool serial_;
   double b_norm_;
 };
 
@@ -233,17 +262,12 @@ AsyncRgsReport async_rgs_solve(ThreadPool& pool, const CsrMatrix& a,
   SingleRhsResidual residual(a, b, x.data(), workers);
 
   WallTimer timer;
-  if (options.atomic_writes) {
-    const SingleRhsUpdate<true> update{a.row_ptr().data(), a.col_idx().data(),
-                                       a.values().data(),  rhs_diag.data(),
-                                       x.data(),           beta};
+  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
+    const SingleRhsUpdate<kAtomic, kScan> update{
+        a.row_ptr().data(), a.col_idx().data(), a.values().data(),
+        rhs_diag.data(),    x.data(),           beta};
     detail::run_engine(pool, options, n, workers, update, residual, report);
-  } else {
-    const SingleRhsUpdate<false> update{a.row_ptr().data(), a.col_idx().data(),
-                                        a.values().data(),  rhs_diag.data(),
-                                        x.data(),           beta};
-    detail::run_engine(pool, options, n, workers, update, residual, report);
-  }
+  });
   report.seconds = timer.seconds();
   return report;
 }

@@ -193,6 +193,47 @@ class DirectionPlan {
   std::vector<Philox4x32> streams_;
 };
 
+/// Maps the runtime (atomic_writes, scan) option pair onto the compile-time
+/// kernel grid: invokes fn.operator()<kAtomicWrites, kScan>() for the
+/// matching specialization.  Shared by the single-RHS and least-squares
+/// solvers (and any future kernel axis) so the 2x2 dispatch ladder lives in
+/// one place.
+template <typename Fn>
+void dispatch_atomic_scan(const AsyncRgsOptions& options, Fn&& fn) {
+  const bool reassoc = options.scan == ScanMode::kReassociated;
+  if (options.atomic_writes) {
+    if (reassoc)
+      fn.template operator()<true, ScanMode::kReassociated>();
+    else
+      fn.template operator()<true, ScanMode::kPinned>();
+  } else {
+    if (reassoc)
+      fn.template operator()<false, ScanMode::kReassociated>();
+    else
+      fn.template operator()<false, ScanMode::kPinned>();
+  }
+}
+
+/// Whether a team-parallel residual reduction is expected to beat the serial
+/// path for `workers` participants on a host with `hardware_threads`
+/// schedulable threads.  On oversubscribed hosts (hardware_threads <
+/// workers) the reduction's barriers serialize through the scheduler — each
+/// rendezvous costs context switches rather than core-parallel work — so the
+/// residual functors fall back to computing on worker 0 alone while the rest
+/// of the team proceeds straight to the engine's own synchronization
+/// barrier.  An unknown hardware count (0) keeps the parallel path.  The
+/// heuristic and its trade-offs are documented in docs/TUNING.md.
+[[nodiscard]] inline bool team_residual_profitable(
+    int workers, unsigned hardware_threads) noexcept {
+  return workers <= 1 || hardware_threads == 0 ||
+         static_cast<int>(hardware_threads) >= workers;
+}
+
+[[nodiscard]] inline bool team_residual_profitable(int workers) noexcept {
+  return team_residual_profitable(workers,
+                                  std::thread::hardware_concurrency());
+}
+
 /// Splits [0, n) into `team` contiguous chunks (first n%team chunks one
 /// longer) and returns worker w's [lo, hi) — the partitioning used for
 /// team-parallel residual reductions.
@@ -228,6 +269,18 @@ class TeamReduce {
     double total = 0.0;
     for (int w = 0; w < team; ++w)
       total += partial_[static_cast<std::size_t>(w)].value;
+    return total;
+  }
+
+  /// Serial evaluation with the identical chunked association as run():
+  /// the partials for workers 0..team-1, summed in worker order on one
+  /// thread.  Used by the oversubscription fallback (see
+  /// team_residual_profitable) so the residual value is bit-identical to
+  /// the team-parallel path regardless of which one the host selects.
+  template <typename PartialFn>
+  [[nodiscard]] double run_serial(int team, PartialFn&& partial) {
+    double total = 0.0;
+    for (int w = 0; w < team; ++w) total += partial(w, team);
     return total;
   }
 

@@ -52,14 +52,15 @@ AsyRgsPreconditioner::AsyRgsPreconditioner(ThreadPool& pool,
                                            const CsrMatrix& a, int sweeps,
                                            int workers, double step_size,
                                            std::uint64_t seed,
-                                           bool atomic_writes)
+                                           bool atomic_writes, ScanMode scan)
     : pool_(pool),
       a_(a),
       sweeps_(sweeps),
       workers_(workers),
       step_size_(step_size),
       seed_(seed),
-      atomic_writes_(atomic_writes) {
+      atomic_writes_(atomic_writes),
+      scan_(scan) {
   require(sweeps > 0, "AsyRgsPreconditioner: sweeps must be positive");
 }
 
@@ -71,6 +72,7 @@ void AsyRgsPreconditioner::apply(const std::vector<double>& r,
   opt.step_size = step_size_;
   opt.workers = workers_;
   opt.atomic_writes = atomic_writes_;
+  opt.scan = scan_;
   opt.sync = SyncMode::kFreeRunning;
   opt.seed = splitmix64(seed_ + ++applications_);
   async_rgs_solve(pool_, a_, r, z, opt);

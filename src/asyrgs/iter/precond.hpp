@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "asyrgs/core/async_rgs.hpp"
 #include "asyrgs/sparse/csr.hpp"
 #include "asyrgs/support/thread_pool.hpp"
 
@@ -73,12 +74,20 @@ class RgsPreconditioner final : public Preconditioner {
 
 /// `sweeps` asynchronous randomized Gauss-Seidel sweeps on A z = r from
 /// z = 0, on `workers` threads (the paper's Table 1 / Figure 3
-/// preconditioner).
+/// preconditioner).  `scan` selects the row-scan FP association of the inner
+/// sweeps (see ScanMode); the preconditioner is already variable across
+/// applications, so ScanMode::kReassociated costs nothing extra in
+/// reproducibility here — the flexible outer method absorbs the variation.
+///
+/// Thread-safety: apply() runs a team on the shared pool; concurrent apply()
+/// calls on one instance are not supported (the application counter that
+/// reseeds each call is unsynchronized by design).
 class AsyRgsPreconditioner final : public Preconditioner {
  public:
   AsyRgsPreconditioner(ThreadPool& pool, const CsrMatrix& a, int sweeps,
                        int workers, double step_size = 1.0,
-                       std::uint64_t seed = 99, bool atomic_writes = true);
+                       std::uint64_t seed = 99, bool atomic_writes = true,
+                       ScanMode scan = ScanMode::kPinned);
   void apply(const std::vector<double>& r, std::vector<double>& z) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool is_variable() const override { return true; }
@@ -94,6 +103,7 @@ class AsyRgsPreconditioner final : public Preconditioner {
   double step_size_;
   std::uint64_t seed_;
   bool atomic_writes_;
+  ScanMode scan_;
   std::uint64_t applications_ = 0;
 };
 

@@ -61,6 +61,7 @@ SpdSolveSummary solve_spd(ThreadPool& pool, const CsrMatrix& a,
       opt.workers = options.threads;
       opt.seed = options.seed;
       opt.sync = SyncMode::kBarrierPerSweep;
+      opt.scan = options.scan;
       opt.rel_tol = options.rel_tol;
       const AsyncRgsReport rep = async_rgs_solve(pool, a, b, x, opt);
       summary.converged = rep.converged;
@@ -74,7 +75,8 @@ SpdSolveSummary solve_spd(ThreadPool& pool, const CsrMatrix& a,
       const int workers =
           options.threads > 0 ? options.threads : pool.size();
       AsyRgsPreconditioner precond(pool, a, options.inner_sweeps, workers,
-                                   /*step_size=*/1.0, options.seed);
+                                   /*step_size=*/1.0, options.seed,
+                                   /*atomic_writes=*/true, options.scan);
       FcgOptions fo;
       fo.base.max_iterations =
           options.max_iterations > 0 ? options.max_iterations : 10000;

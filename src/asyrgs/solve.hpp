@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "asyrgs/core/async_rgs.hpp"
 #include "asyrgs/sparse/csr.hpp"
 #include "asyrgs/support/thread_pool.hpp"
 
@@ -39,6 +40,13 @@ struct SpdSolveOptions {
   /// Verify symmetry (costs one transpose) and positive diagonal before
   /// solving; recommended for user-supplied matrices.
   bool check_input = true;
+  /// Row-scan FP association for the asynchronous inner iterations (both the
+  /// kAsyncRgs solver and the AsyRGS preconditioner inside kFcgAsyRgs).
+  /// ScanMode::kPinned (default) keeps equal-seed runs bit-identical across
+  /// worker counts; ScanMode::kReassociated opts into the faster
+  /// multi-accumulator/SIMD row scan at the cost of that reproducibility.
+  /// See core/async_rgs.hpp and docs/TUNING.md.
+  ScanMode scan = ScanMode::kPinned;
 };
 
 /// Outcome of solve_spd.

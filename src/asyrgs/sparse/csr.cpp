@@ -3,7 +3,120 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define ASYRGS_SCAN_SIMD 1
+#include <immintrin.h>
+#endif
+
 namespace asyrgs {
+
+namespace {
+
+// --- reassociated row-scan kernels -------------------------------------------
+//
+// Same dispatch discipline as the bulk Philox kernels (support/prng.cpp):
+// one widest-available implementation chosen once per process via cached
+// __builtin_cpu_supports, with target attributes so a generic build still
+// carries the AVX paths.  All variants compute the identical mathematical
+// sum; only the rounding order differs (per-variant accumulator count and
+// lane width), which is exactly the license ScanMode::kReassociated grants.
+
+#if defined(ASYRGS_SCAN_SIMD)
+
+/// AVX2 gather + FMA, two 4-lane accumulators (8 products in flight).
+__attribute__((target("avx2,fma"))) double row_dot_avx2(
+    const index_t* __restrict cols, const double* __restrict vals, nnz_t len,
+    const double* __restrict x) noexcept {
+  __m256d s0 = _mm256_setzero_pd();
+  __m256d s1 = _mm256_setzero_pd();
+  nnz_t t = 0;
+  for (; t + 8 <= len; t += 8) {
+    const __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t));
+    const __m256i i1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t + 4));
+    s0 = _mm256_fmadd_pd(_mm256_loadu_pd(vals + t),
+                         _mm256_i64gather_pd(x, i0, 8), s0);
+    s1 = _mm256_fmadd_pd(_mm256_loadu_pd(vals + t + 4),
+                         _mm256_i64gather_pd(x, i1, 8), s1);
+  }
+  const __m256d s = _mm256_add_pd(s0, s1);
+  const __m128d lo = _mm256_castpd256_pd128(s);
+  const __m128d hi = _mm256_extractf128_pd(s, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double acc = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; t < len; ++t) acc += vals[t] * x[cols[t]];
+  return acc;
+}
+
+// GCC 12's avx512fintrin.h trips -W(maybe-)uninitialized on the unmasked
+// intrinsics' _mm512_undefined_epi32 pass-through operand — the same header
+// false positive support/prng.cpp suppresses around its AVX-512 kernel.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+/// AVX-512 gather + FMA, two 8-lane accumulators (16 products in flight).
+__attribute__((target("avx512f"))) double row_dot_avx512(
+    const index_t* __restrict cols, const double* __restrict vals, nnz_t len,
+    const double* __restrict x) noexcept {
+  __m512d s0 = _mm512_setzero_pd();
+  __m512d s1 = _mm512_setzero_pd();
+  nnz_t t = 0;
+  for (; t + 16 <= len; t += 16) {
+    const __m512i i0 = _mm512_loadu_si512(cols + t);
+    const __m512i i1 = _mm512_loadu_si512(cols + t + 8);
+    s0 = _mm512_fmadd_pd(_mm512_loadu_pd(vals + t),
+                         _mm512_i64gather_pd(i0, x, 8), s0);
+    s1 = _mm512_fmadd_pd(_mm512_loadu_pd(vals + t + 8),
+                         _mm512_i64gather_pd(i1, x, 8), s1);
+  }
+  // Mid (one full 8-wide gather) and masked tail both fold into the same
+  // vector accumulator — a single horizontal reduction per row, and medium
+  // rows (17-31 nnz, common in Gram matrices) never leave the vector path.
+  __m512d s = _mm512_add_pd(s0, s1);
+  if (t + 8 <= len) {
+    const __m512i idx = _mm512_loadu_si512(cols + t);
+    s = _mm512_fmadd_pd(_mm512_loadu_pd(vals + t),
+                        _mm512_i64gather_pd(idx, x, 8), s);
+    t += 8;
+  }
+  if (t < len) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (len - t)) - 1u);
+    const __m512i idx = _mm512_maskz_loadu_epi64(m, cols + t);
+    const __m512d v = _mm512_maskz_loadu_pd(m, vals + t);
+    const __m512d g = _mm512_mask_i64gather_pd(_mm512_setzero_pd(), m, idx,
+                                               x, 8);
+    s = _mm512_fmadd_pd(v, g, s);
+  }
+  return _mm512_reduce_add_pd(s);
+}
+#pragma GCC diagnostic pop
+
+#endif  // ASYRGS_SCAN_SIMD
+
+using RowDotFn = double (*)(const index_t* __restrict, const double* __restrict,
+                            nnz_t, const double* __restrict) noexcept;
+
+/// Widest available long-row kernel, resolved once at load time into a
+/// namespace-scope pointer — the per-row call is one predicted indirect
+/// branch, with no function-local-static guard on the hot path.
+RowDotFn pick_row_dot_reassoc() noexcept {
+#if defined(ASYRGS_SCAN_SIMD)
+  if (__builtin_cpu_supports("avx512f")) return row_dot_avx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return row_dot_avx2;
+#endif
+  return csr_row_dot_multiacc;  // shared definition in csr.hpp
+}
+
+const RowDotFn g_row_dot_reassoc_long = pick_row_dot_reassoc();
+
+}  // namespace
+
+double csr_row_dot_reassoc_long(const index_t* cols, const double* vals,
+                                nnz_t len, const double* x) noexcept {
+  return g_row_dot_reassoc_long(cols, vals, len, x);
+}
 
 CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> row_ptr,
                      std::vector<index_t> col_idx, std::vector<double> values)

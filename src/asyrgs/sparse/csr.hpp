@@ -45,7 +45,82 @@ namespace asyrgs {
   return acc;
 }
 
+// --- reassociated ("fast math") row scans ------------------------------------
+//
+// The pinned kernels above evaluate the row scan as one serial
+// subtraction/addition chain, which is what makes equal-seed runs bit-exact
+// across worker counts — and what caps the scan-bound regime at one FP
+// operation per dependency-chain latency.  The *_reassoc variants below drop
+// the association guarantee: they split the scan over multiple independent
+// accumulators (and gather/FMA SIMD lanes where the CPU has AVX-512/AVX2;
+// runtime-dispatched with an unrolled multi-accumulator scalar fallback) and
+// reduce at the end.  The result is the same mathematical sum under a
+// different (unspecified, width-dependent) rounding order.
+//
+// Convergence theory is indifferent to the association — the paper's
+// bounds (and AsyRK's, arXiv:1401.4780) assume only bounded staleness of the
+// values read, never a particular reduction order — so the asynchronous
+// solvers expose these kernels behind the opt-in ScanMode::kReassociated
+// (see core/async_rgs.hpp); the default solve path never calls them.
+//
+// Thread-safety contract: `x` may be a concurrently-updated shared iterate.
+// These kernels read it with plain (vector) loads rather than the pinned
+// path's relaxed-atomic loads; on every supported target a naturally aligned
+// 8-byte load cannot tear, which is all the convergence model requires
+// (each read observes some previously stored value).  See docs/API.md.
+
+/// Long-row reassociated kernel (len >= 16): SIMD gather/FMA lanes,
+/// runtime-dispatched AVX-512 / AVX2 / unrolled scalar.  Implementation
+/// detail of csr_row_dot_reassoc — call that instead.
+[[nodiscard]] double csr_row_dot_reassoc_long(const index_t* cols,
+                                              const double* vals, nnz_t len,
+                                              const double* x) noexcept;
+
+/// Four-accumulator scalar scan: splitting the add chain pipelines the FP
+/// adder without SIMD gather setup.  Single definition shared by the
+/// short-row path of csr_row_dot_reassoc below and the no-SIMD long-row
+/// fallback in sparse/csr.cpp, so the two cannot drift apart.
+[[nodiscard]] inline double csr_row_dot_multiacc(
+    const index_t* __restrict cols, const double* __restrict vals, nnz_t len,
+    const double* __restrict x) noexcept {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  nnz_t t = 0;
+  for (; t + 4 <= len; t += 4) {
+    s0 += vals[t] * x[cols[t]];
+    s1 += vals[t + 1] * x[cols[t + 1]];
+    s2 += vals[t + 2] * x[cols[t + 2]];
+    s3 += vals[t + 3] * x[cols[t + 3]];
+  }
+  for (; t < len; ++t) s0 += vals[t] * x[cols[t]];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Reassociated sum of vals[t] * x[cols[t]]: multiple accumulators / SIMD
+/// gathers, runtime-dispatched.  Same sum as csr_row_dot up to rounding.
+/// The short-row path is inline — rows under the SIMD threshold pay no
+/// out-of-line call (gather setup never recoups itself there), keeping
+/// reassociated mode close to pinned on short-row (engine-bound) matrices.
+[[nodiscard]] inline double csr_row_dot_reassoc(
+    const index_t* __restrict cols, const double* __restrict vals, nnz_t len,
+    const double* __restrict x) noexcept {
+  if (len >= 16) return csr_row_dot_reassoc_long(cols, vals, len, x);
+  return csr_row_dot_multiacc(cols, vals, len, x);
+}
+
+/// acc - (reassociated row/vector product).  Same value as csr_row_sub_dot
+/// up to rounding; the subtraction of the reduced product from `acc` is the
+/// single final rounding step.
+[[nodiscard]] inline double csr_row_sub_dot_reassoc(
+    double acc, const index_t* cols, const double* vals, nnz_t len,
+    const double* x) noexcept {
+  return acc - csr_row_dot_reassoc(cols, vals, len, x);
+}
+
 /// Sparse rows x cols matrix in CSR format with sorted column indices.
+///
+/// Thread-safety: immutable after construction — every member below is
+/// const and allocation-free, so one CsrMatrix may be shared by any number
+/// of concurrent solver teams (the asynchronous solvers rely on this).
 class CsrMatrix {
  public:
   CsrMatrix() = default;

@@ -21,6 +21,11 @@ namespace asyrgs {
 enum class RowPartition { kContiguous, kRoundRobin, kDynamic };
 
 /// y = A x using `workers` threads from `pool`.
+///
+/// Thread-safety: `a` and `x` are read-only; `y` is partitioned by row so
+/// workers never write the same entry.  The pool runs one team at a time —
+/// do not issue concurrent spmv calls against the same pool from different
+/// threads (nested calls from inside a team degrade to 1 worker instead).
 void spmv(ThreadPool& pool, const CsrMatrix& a, const double* x, double* y,
           int workers = 0, RowPartition partition = RowPartition::kDynamic);
 

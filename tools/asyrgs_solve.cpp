@@ -2,6 +2,7 @@
 //
 //   asyrgs_solve --matrix A.mtx [--rhs b.mtx] [--out x.mtx]
 //                [--method auto|asyrgs|fcg|cg] [--tol 1e-8] [--threads 0]
+//                [--scan pinned|reassociated]
 //
 // Reads an SPD matrix (coordinate format, general or symmetric), solves
 // A x = b with the selected method (b defaults to A * ones so the run is
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
   auto threads = cli.add_int("threads", 0, "worker threads (0 = all)");
   auto max_iters = cli.add_int("max-iterations", 0, "iteration cap (0=auto)");
   auto inner = cli.add_int("inner-sweeps", 2, "FCG preconditioner sweeps");
+  auto scan = cli.add_string(
+      "scan", "pinned",
+      "row-scan FP association: pinned (bit-reproducible) | reassociated "
+      "(fast-math SIMD; see docs/TUNING.md)");
 
   try {
     cli.parse(argc, argv);
@@ -61,6 +66,12 @@ int main(int argc, char** argv) {
       opt.method = SpdMethod::kCg;
     else
       throw Error("unknown --method (want auto|asyrgs|fcg|cg)");
+    if (*scan == "pinned")
+      opt.scan = ScanMode::kPinned;
+    else if (*scan == "reassociated")
+      opt.scan = ScanMode::kReassociated;
+    else
+      throw Error("unknown --scan (want pinned|reassociated)");
 
     std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
     const SpdSolveSummary summary =
