@@ -190,13 +190,30 @@ namespace {
 struct Measurement {
   std::string workload;  // "gram_engine_bound" | "gram_scan_bound"
   std::string engine;    // "legacy" | "current"
-  std::string mode;      // "free_running" | "barrier_residual"
+  std::string mode;      // "free_running" | "barrier_residual" |
+                         // "prepare_amortization"
   std::string scan;      // "pinned" | "reassociated" (legacy is always pinned)
   int workers = 0;
   long long updates = 0;
   double seconds = 0.0;
   double updates_per_second = 0.0;
   double residual_cost_per_sweep = 0.0;  // barrier_residual rows only
+  std::string api;     // prepare_amortization rows: "cold" | "prepared"
+  std::string family;  // prepare_amortization rows: "spd" | "lsq"
+};
+
+/// Cold-vs-prepared solve latency for one solver family (schema v4): the
+/// serving regime fixes the matrix and answers many short solves, so the
+/// interesting ratio is one-shot API latency (handle construction + solve,
+/// re-paying validation/denominators/scratch per call) over prepared-handle
+/// latency (solve only).
+struct AmortizationPoint {
+  double prepare_seconds = 0.0;   // one-time handle construction (cache cold)
+  double cold_seconds = 0.0;      // per-solve: construct-and-solve
+  double prepared_seconds = 0.0;  // per-solve: prepared handle
+  [[nodiscard]] double speedup() const {
+    return prepared_seconds > 0.0 ? cold_seconds / prepared_seconds : 0.0;
+  }
 };
 
 struct WorkloadSpec {
@@ -304,6 +321,9 @@ int main(int argc, char** argv) {
   Table table({"workload", "workers", "engine", "mode", "scan", "updates/s",
                "ns/update", "check_s/sweep"});
 
+  AmortizationPoint amor_spd, amor_lsq;
+  const int amor_sweeps = *smoke ? 2 : 4;
+
   for (WorkloadSpec& spec : workloads) {
     const SocialGram system = make_social_gram(spec.gram);
     const CsrMatrix a =
@@ -410,6 +430,108 @@ int main(int argc, char** argv) {
                        fmt_sci(m.residual_cost_per_sweep)});
       }
     }
+
+    // --- cold vs prepared solve latency (headline workload only) -----------
+    // The serving regime of Section 9: one operator, many short low-accuracy
+    // solves.  "cold" constructs a fresh handle per solve — the cost profile
+    // of the one-shot API — while "prepared" solves against a handle built
+    // once.  1 worker, free-running, pinned, tiny sweep budget: the
+    // difference is pure per-call preparation (validation compare,
+    // denominators, scratch), not iteration throughput.  Both families'
+    // cold paths share the matrix's transpose cache with the prepared
+    // handle (warm after its construction), so the one-time transpose build
+    // is reported separately as prepare_seconds rather than inside
+    // cold_seconds — see the ROADMAP item for an uncached-cold variant.
+    if (spec.name == workloads.front().name) {
+      const auto record_amortization = [&](const char* family,
+                                           AmortizationPoint& point,
+                                           long long updates_per_solve,
+                                           auto&& cold, auto&& prepared) {
+        const auto time_solve = [&](auto&& fn) {
+          double best = 1e300;
+          for (int rep = 0; rep < n_repeats; ++rep) {
+            WallTimer t;
+            fn();
+            best = std::min(best, t.seconds());
+          }
+          return best;
+        };
+        point.cold_seconds = time_solve(cold);
+        point.prepared_seconds = time_solve(prepared);
+        for (const bool is_cold : {true, false}) {
+          Measurement m;
+          m.workload = spec.name;
+          m.engine = "current";
+          m.mode = "prepare_amortization";
+          m.scan = "pinned";
+          m.workers = 1;
+          m.updates = updates_per_solve;
+          m.seconds = is_cold ? point.cold_seconds : point.prepared_seconds;
+          m.updates_per_second = static_cast<double>(m.updates) / m.seconds;
+          m.api = is_cold ? "cold" : "prepared";
+          m.family = family;
+          results.push_back(m);
+          table.add_row({spec.name, "1", "current",
+                         std::string("prepare/") + m.api + "/" + family,
+                         "pinned", fmt_sci(m.updates_per_second),
+                         fmt_fixed(1e9 * m.seconds /
+                                       static_cast<double>(m.updates),
+                                   1),
+                         "-"});
+        }
+      };
+
+      SolveControls amor;
+      amor.method = SpdMethod::kAsyncRgs;
+      amor.sweeps = amor_sweeps;
+      amor.workers = 1;
+      amor.sync = SyncMode::kFreeRunning;
+
+      {
+        WallTimer prep;
+        SpdProblem prepared(pool, a, /*check_input=*/true);
+        amor_spd.prepare_seconds = prep.seconds();
+        std::vector<double> x(static_cast<std::size_t>(n));
+        record_amortization(
+            "spd", amor_spd, static_cast<long long>(amor_sweeps) * n,
+            [&] {
+              std::fill(x.begin(), x.end(), 0.0);
+              SpdProblem cold(pool, a, /*check_input=*/true);
+              cold.solve(b, x, amor);
+            },
+            [&] {
+              std::fill(x.begin(), x.end(), 0.0);
+              prepared.solve(b, x, amor);
+            });
+      }
+
+      {
+        // Least squares on the corpus' document-term factor.
+        const ColumnCompression compressed =
+            drop_empty_columns(system.factor);
+        const CsrMatrix& f = compressed.matrix;
+        const std::vector<double> bf = random_vector(f.rows(), 7);
+        SolveControls lsq_amor = amor;
+        lsq_amor.method = SpdMethod::kAuto;  // ignored by LsqProblem
+        lsq_amor.step_size = 0.95;
+        WallTimer prep;
+        LsqProblem prepared(pool, f);
+        amor_lsq.prepare_seconds = prep.seconds();
+        std::vector<double> xf(static_cast<std::size_t>(f.cols()));
+        record_amortization(
+            "lsq", amor_lsq,
+            static_cast<long long>(amor_sweeps) * f.cols(),
+            [&] {
+              std::fill(xf.begin(), xf.end(), 0.0);
+              LsqProblem cold(pool, f);
+              cold.solve(bf, xf, lsq_amor);
+            },
+            [&] {
+              std::fill(xf.begin(), xf.end(), 0.0);
+              prepared.solve(bf, xf, lsq_amor);
+            });
+      }
+    }
   }
   table.print(std::cout);
 
@@ -452,12 +574,25 @@ int main(int argc, char** argv) {
             << " reassociated=" << fmt_sci(scan_reassoc_ups)
             << " speedup=" << fmt_fixed(scan_speedup, 2) << "x\n";
 
+  // --- prepare-amortization headline ---------------------------------------
+  // Cold (construct-and-solve, the one-shot API's cost profile) vs prepared
+  // (solve on a pre-built handle), per solve, at a serving-sized sweep
+  // budget.  The PR-4 trajectory metric.
+  std::cout << "# prepare headline (" << headline_workload << ", "
+            << amor_sweeps << " sweeps, 1 worker): spd cold="
+            << fmt_sci(amor_spd.cold_seconds) << "s prepared="
+            << fmt_sci(amor_spd.prepared_seconds) << "s speedup="
+            << fmt_fixed(amor_spd.speedup(), 2) << "x; lsq cold="
+            << fmt_sci(amor_lsq.cold_seconds) << "s prepared="
+            << fmt_sci(amor_lsq.prepared_seconds) << "s speedup="
+            << fmt_fixed(amor_lsq.speedup(), 2) << "x\n";
+
   // --- JSON --------------------------------------------------------------
   const std::string path =
       (*out_path).empty() ? "BENCH_" + *label + ".json" : *out_path;
   std::ofstream json(path);
   json << "{\n"
-       << "  \"schema_version\": 3,\n"
+       << "  \"schema_version\": 4,\n"
        << "  \"bench\": \"bench_updates\",\n"
        << "  \"label\": \"" << json_escape(*label) << "\",\n"
        << "  \"git\": \"" << json_escape(*git_rev) << "\",\n"
@@ -489,6 +624,9 @@ int main(int argc, char** argv) {
     if (m.mode == "barrier_residual")
       json << ", \"residual_cost_per_sweep_seconds\": "
            << m.residual_cost_per_sweep;
+    if (m.mode == "prepare_amortization")
+      json << ", \"api\": \"" << m.api << "\", \"family\": \"" << m.family
+           << "\"";
     json << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
@@ -501,7 +639,18 @@ int main(int argc, char** argv) {
        << "\", \"mode\": \"free_running\", \"workers\": 1"
        << ", \"pinned_updates_per_second\": " << scan_pinned_ups
        << ", \"reassociated_updates_per_second\": " << scan_reassoc_ups
-       << ", \"speedup\": " << scan_speedup << "}\n"
+       << ", \"speedup\": " << scan_speedup << "},\n"
+       << "  \"prepare_amortization\": {\"workload\": \"" << headline_workload
+       << "\", \"mode\": \"free_running\", \"workers\": 1"
+       << ", \"sweeps\": " << amor_sweeps << ",\n"
+       << "    \"spd\": {\"prepare_seconds\": " << amor_spd.prepare_seconds
+       << ", \"cold_seconds_per_solve\": " << amor_spd.cold_seconds
+       << ", \"prepared_seconds_per_solve\": " << amor_spd.prepared_seconds
+       << ", \"speedup\": " << amor_spd.speedup() << "},\n"
+       << "    \"lsq\": {\"prepare_seconds\": " << amor_lsq.prepare_seconds
+       << ", \"cold_seconds_per_solve\": " << amor_lsq.cold_seconds
+       << ", \"prepared_seconds_per_solve\": " << amor_lsq.prepared_seconds
+       << ", \"speedup\": " << amor_lsq.speedup() << "}}\n"
        << "}\n";
   std::cout << "# wrote " << path << "\n";
   return 0;

@@ -38,18 +38,23 @@ int main(int argc, char** argv) {
   for (double& v : labels) v += 0.02 * normal(rng);
 
   ThreadPool& pool = ThreadPool::global();
-  std::vector<double> x(f.cols(), 0.0);
-  AsyncRgsOptions opt;
-  opt.sweeps = static_cast<int>(*sweeps);
-  opt.workers = static_cast<int>(*threads);
-  opt.step_size = 0.95;  // Theorem 5 regime: beta < 1
-  opt.sync = SyncMode::kBarrierPerSweep;
-  opt.rel_tol = 1e-6;  // on ||F^T(b - Fx)|| / ||F^T b||
+  // Prepare the least-squares problem once: F^T is materialized (through the
+  // matrix's shared transpose cache), the column-norm denominators are
+  // precomputed, and full column rank is validated.  Every labelling pass
+  // after that is a plain solve() against the handle.
+  LsqProblem problem(pool, f);
+  SolveControls controls;
+  controls.sweeps = static_cast<int>(*sweeps);
+  controls.workers = static_cast<int>(*threads);
+  controls.step_size = 0.95;  // Theorem 5 regime: beta < 1
+  controls.sync = SyncMode::kBarrierPerSweep;
+  controls.rel_tol = 1e-6;  // on ||F^T(b - Fx)|| / ||F^T b||
 
+  std::vector<double> x(f.cols(), 0.0);
   WallTimer t;
-  const AsyncRgsReport rep = async_lsq_solve(pool, f, labels, x, opt);
-  std::cout << "converged=" << (rep.converged ? "yes" : "no") << " after "
-            << rep.sweeps_done << " sweeps on " << rep.workers
+  const SolveOutcome rep = problem.solve(labels, x, controls);
+  std::cout << "status=" << to_string(rep.status) << " after "
+            << rep.iterations << " sweeps on " << rep.workers
             << " threads in " << t.seconds() << " s\n";
 
   // How close are the recovered regression coefficients to the truth?
@@ -62,5 +67,5 @@ int main(int argc, char** argv) {
   std::cout << "normal-equations residual ||F^T(b-Fx)||: " << nrm2(g) << "\n";
   std::cout << "coefficient error vs noiseless truth:    "
             << nrm2(subtract(x, truth)) / nrm2(truth) << "\n";
-  return rep.converged ? 0 : 1;
+  return rep.converged() ? 0 : 1;
 }

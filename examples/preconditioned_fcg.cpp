@@ -45,8 +45,11 @@ int main(int argc, char** argv) {
             << t_plain.seconds() << " s, converged="
             << (plain.converged ? "yes" : "no") << "\n";
 
-  // FCG + AsyRGS.
-  AsyRgsPreconditioner precond(pool, a, static_cast<int>(*inner), workers);
+  // FCG + AsyRGS.  The preconditioner borrows a prepared SpdProblem
+  // handle, so the matrix analysis and per-worker scratch are paid once and
+  // every outer iteration's inner sweeps reuse them.
+  SpdProblem problem(pool, a, /*check_input=*/false);
+  AsyRgsPreconditioner precond(problem, static_cast<int>(*inner), workers);
   FcgOptions fo;
   fo.base.max_iterations = 5000;
   fo.base.rel_tol = *tol;

@@ -70,18 +70,35 @@ int main(int argc, char** argv) {
               << (rep.converged ? "yes" : "no") << "\n";
   }
 
-  // --- AsyRGS on all cores ------------------------------------------------------
+  // --- AsyRGS on all cores, through a prepared handle --------------------------
+  // A serving system would hold one SpdProblem per operator and answer every
+  // incoming label batch from it; here the second batch demonstrates that
+  // repeat solves skip all preparation.
   {
+    SpdProblem problem(pool, a, /*check_input=*/false);
+    SolveControls controls;
+    controls.sweeps = static_cast<int>(*budget);
+    controls.rel_tol = *tol;
+    controls.sync = SyncMode::kBarrierPerSweep;
+
     MultiVector x(a.rows(), *rhs);
-    AsyncRgsOptions opt;
-    opt.sweeps = static_cast<int>(*budget);
-    opt.rel_tol = *tol;
-    opt.sync = SyncMode::kBarrierPerSweep;
     WallTimer t;
-    const AsyncRgsReport rep = async_rgs_solve_block(pool, a, b, x, opt);
-    std::cout << "AsyRGS (" << rep.workers << " threads):     "
-              << rep.sweeps_done << " sweeps,     " << t.seconds()
-              << " s, converged=" << (rep.converged ? "yes" : "no") << "\n";
+    const SolveOutcome out = problem.solve(b, x, controls);
+    std::cout << "AsyRGS (" << out.workers << " threads):     "
+              << out.iterations << " sweeps,     " << t.seconds()
+              << " s, status=" << to_string(out.status) << "\n";
+
+    // A second batch of labels against the same prepared operator.
+    const MultiVector b2 = random_multivector(a.rows(), *rhs, 17);
+    MultiVector x2(a.rows(), *rhs);
+    controls.seed = 2;
+    WallTimer t2;
+    const SolveOutcome out2 = problem.solve(b2, x2, controls);
+    std::cout << "AsyRGS, prepared re-solve: " << out2.iterations
+              << " sweeps,     " << t2.seconds()
+              << " s, status=" << to_string(out2.status) << " ("
+              << problem.stats().scratch_allocations
+              << " scratch allocations total)\n";
   }
 
   std::cout << "\nAt low accuracy the basic randomized iteration needs only "

@@ -44,8 +44,9 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
 
 echo "bench.sh: wrote BENCH_${label}.json"
 
-# Side-by-side scan-mode summary (schema v3: docs/TUNING.md).  Best effort —
-# the JSON is the artifact; this line is for the terminal.
+# Side-by-side scan-mode and prepare-amortization summaries (schema v4:
+# docs/TUNING.md).  Best effort — the JSON is the artifact; these lines are
+# for the terminal.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "BENCH_${label}.json" <<'PYEOF'
 import json, sys
@@ -56,5 +57,15 @@ if s:
           "reassociated=%.3g upd/s speedup=%.2fx"
           % (s["workload"], s["pinned_updates_per_second"],
              s["reassociated_updates_per_second"], s["speedup"]))
+p = d.get("prepare_amortization")
+if p:
+    for fam in ("spd", "lsq"):
+        f = p.get(fam)
+        if f:
+            print("bench.sh: prepared %s solve (%s, %d sweeps): "
+                  "cold=%.3gs prepared=%.3gs speedup=%.2fx"
+                  % (fam, p["workload"], p["sweeps"],
+                     f["cold_seconds_per_solve"],
+                     f["prepared_seconds_per_solve"], f["speedup"]))
 PYEOF
 fi

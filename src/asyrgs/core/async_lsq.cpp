@@ -1,28 +1,22 @@
+// Sequential randomized coordinate descent for least squares, plus the
+// one-shot asynchronous entry points as thin wrappers over a temporary
+// LsqProblem handle (asyrgs/problem.hpp) — the asynchronous kernels live in
+// core/kernels.hpp and the engine invocation in problem.cpp.
 #include "asyrgs/core/async_lsq.hpp"
 
 #include <cmath>
 #include <vector>
 
 #include "asyrgs/core/engine.hpp"
+#include "asyrgs/core/kernels.hpp"
 #include "asyrgs/linalg/vector_ops.hpp"
-#include "asyrgs/support/atomics.hpp"
+#include "asyrgs/problem.hpp"
 #include "asyrgs/support/prng.hpp"
 #include "asyrgs/support/timer.hpp"
 
 namespace asyrgs {
 
 namespace {
-
-/// Squared Euclidean norms of the columns of A, read off the rows of A^T.
-std::vector<double> column_sq_norms(const CsrMatrix& at) {
-  std::vector<double> sq(static_cast<std::size_t>(at.rows()), 0.0);
-  for (index_t j = 0; j < at.rows(); ++j) {
-    double acc = 0.0;
-    for (double v : at.row_vals(j)) acc += v * v;
-    sq[j] = acc;
-  }
-  return sq;
-}
 
 /// ||A^T (b - A x)|| / ||A^T b|| computed serially (sequential solver only).
 double normal_residual(const CsrMatrix& a, const std::vector<double>& b,
@@ -38,132 +32,6 @@ double normal_residual(const CsrMatrix& a, const std::vector<double>& b,
   return denom > 0.0 ? nrm2(g) / denom : nrm2(g);
 }
 
-/// One asynchronous column update (iteration (21)): the residual entries for
-/// the column's rows are recomputed from shared x on every step.  Specialized
-/// at compile time on the atomicity mode and on the scan mode — the inner
-/// r_i = b_i - A_i x row scans are this kernel's dominant FP cost, so
-/// ScanMode::kReassociated routes them through the multi-accumulator/SIMD
-/// kernel (plain vector reads of the shared iterate; see sparse/csr.hpp).
-template <bool kAtomicWrites, ScanMode kScan>
-struct LsqUpdate {
-  const CsrMatrix* a;
-  const CsrMatrix* at;
-  const double* b;
-  const double* col_sq;
-  double* x;
-  double beta;
-
-  void operator()(int, index_t j, index_t j_ahead) const noexcept {
-    __builtin_prefetch(at->row_cols(j_ahead).data());
-    __builtin_prefetch(at->row_vals(j_ahead).data());
-    const auto rows = at->row_cols(j);
-    const auto col_vals = at->row_vals(j);
-    double gamma = 0.0;
-    for (std::size_t s = 0; s < rows.size(); ++s) {
-      const index_t i = rows[s];
-      // r_i = b_i - A_i x; pinned mode reads the shared iterate with
-      // relaxed-atomic loads, reassociated mode with vector gathers.
-      double ri;
-      if constexpr (kScan == ScanMode::kReassociated) {
-        const auto arow_cols = a->row_cols(i);
-        const auto arow_vals = a->row_vals(i);
-        ri = csr_row_sub_dot_reassoc(b[i], arow_cols.data(), arow_vals.data(),
-                                     static_cast<nnz_t>(arow_cols.size()), x);
-      } else {
-        ri = b[i];
-        const auto arow_cols = a->row_cols(i);
-        const auto arow_vals = a->row_vals(i);
-        for (std::size_t q = 0; q < arow_cols.size(); ++q)
-          ri -= arow_vals[q] * atomic_load_relaxed(x[arow_cols[q]]);
-      }
-      gamma += col_vals[s] * ri;
-    }
-    const double delta = beta * gamma / col_sq[j];
-    if constexpr (kAtomicWrites)
-      atomic_add_relaxed(x[j], delta);
-    else
-      racy_add(x[j], delta);
-  }
-};
-
-/// ||A^T (b - A x)|| / ||A^T b|| as a two-phase team-parallel reduction at
-/// synchronization points: phase 1 materializes r = b - A x (row chunks),
-/// phase 2 reduces ||A^T r||^2 (column chunks via the rows of A^T).  The
-/// denominator ||A^T b|| is an invariant of the run and computed once at
-/// construction, not once per synchronization as the old serial callback did.
-class LsqResidual {
- public:
-  LsqResidual(const CsrMatrix& a, const CsrMatrix& at,
-              const std::vector<double>& b, const double* x, int workers,
-              bool enabled)
-      : a_(a),
-        at_(at),
-        b_(b),
-        x_(x),
-        reduce_(workers),
-        serial_(!detail::team_residual_profitable(workers)) {
-    if (!enabled) return;
-    r_.resize(static_cast<std::size_t>(a.rows()));
-    std::vector<double> g0(static_cast<std::size_t>(a.cols()));
-    a.multiply_transpose(b.data(), g0.data());
-    denom_ = nrm2(g0);
-  }
-
-  double operator()(int id, int team) {
-    // Oversubscribed host: both phases run serially on worker 0 with the
-    // same chunked association as the team-parallel path (see
-    // TeamReduce::run_serial and docs/TUNING.md for the heuristic); the
-    // other workers return straight to the engine's synchronization
-    // barrier.
-    if (serial_ && id != 0) return 0.0;
-    // Phase 1: r = b - A x over this worker's row chunk (the whole range
-    // when serial; the entries are independent, so chunking does not
-    // affect their values).
-    {
-      const auto [lo, hi] = serial_ ? detail::chunk_of(a_.rows(), 0, 1)
-                                    : detail::chunk_of(a_.rows(), id, team);
-      for (index_t i = lo; i < hi; ++i) {
-        double ri = b_[i];
-        const auto cols = a_.row_cols(i);
-        const auto vals = a_.row_vals(i);
-        for (std::size_t s = 0; s < cols.size(); ++s)
-          ri -= vals[s] * atomic_load_relaxed(x_[cols[s]]);
-        r_[static_cast<std::size_t>(i)] = ri;
-      }
-    }
-    if (!serial_ && team > 1) reduce_.barrier().arrive_and_wait();
-    // Phase 2: ||A^T r||^2 over this worker's chunk of A^T rows.
-    const auto partial = [&](int w, int t) {
-      const auto [lo, hi] = detail::chunk_of(at_.rows(), w, t);
-      double acc = 0.0;
-      for (index_t j = lo; j < hi; ++j) {
-        const auto rows = at_.row_cols(j);
-        const auto vals = at_.row_vals(j);
-        double g = 0.0;
-        for (std::size_t s = 0; s < rows.size(); ++s)
-          g += vals[s] * r_[static_cast<std::size_t>(rows[s])];
-        acc += g * g;
-      }
-      return acc;
-    };
-    const double num = serial_ ? reduce_.run_serial(team, partial)
-                               : reduce_.run(id, team, partial);
-    if (id != 0) return 0.0;
-    const double rn = std::sqrt(num);
-    return denom_ > 0.0 ? rn / denom_ : rn;
-  }
-
- private:
-  const CsrMatrix& a_;
-  const CsrMatrix& at_;
-  const std::vector<double>& b_;
-  const double* x_;
-  detail::TeamReduce reduce_;
-  bool serial_;
-  std::vector<double> r_;
-  double denom_ = 0.0;
-};
-
 }  // namespace
 
 RgsReport rcd_lsq_solve(const CsrMatrix& a, const std::vector<double>& b,
@@ -174,8 +42,12 @@ RgsReport rcd_lsq_solve(const CsrMatrix& a, const std::vector<double>& b,
   require(options.step_size > 0.0 && options.step_size < 2.0,
           "rcd_lsq_solve: step size must be in (0, 2)");
   const index_t n = a.cols();
+  // Local transpose on purpose: this sequential one-shot path makes no
+  // amortization promise, and the shared cache would pin ~nnz extra memory
+  // to the caller's matrix for its lifetime.  Repeat-solve users should
+  // hold an LsqProblem (or pass `at` to async_lsq_solve) instead.
   const CsrMatrix at = a.transpose();
-  const std::vector<double> col_sq = column_sq_norms(at);
+  const std::vector<double> col_sq = detail::column_sq_norms(at);
   for (double s : col_sq)
     require(s > 0.0, "rcd_lsq_solve: zero column (A must have full rank)");
 
@@ -238,47 +110,21 @@ AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
                                const std::vector<double>& b,
                                std::vector<double>& x,
                                const AsyncRgsOptions& options) {
-  require(static_cast<index_t>(b.size()) == a.rows() &&
-              static_cast<index_t>(x.size()) == a.cols(),
-          "async_lsq_solve: shape mismatch");
-  require(at.rows() == a.cols() && at.cols() == a.rows(),
-          "async_lsq_solve: `at` must be the transpose of `a`");
-  require(options.step_size > 0.0 && options.step_size < 2.0,
-          "async_lsq_solve: step size must be in (0, 2)");
-  require(options.sweeps >= 0, "async_lsq_solve: sweeps must be non-negative");
-  require(options.sync_interval_seconds > 0.0,
-          "async_lsq_solve: sync interval must be positive");
-  const index_t n = a.cols();
-  const std::vector<double> col_sq = column_sq_norms(at);
-  for (double s : col_sq)
-    require(s > 0.0, "async_lsq_solve: zero column (A must have full rank)");
-
-  const double beta = options.step_size;
-  int workers = options.workers > 0 ? options.workers : pool.size();
-  if (workers > pool.size()) workers = pool.size();
-
-  AsyncRgsReport report;
-  report.workers = workers;
-
-  const bool check = options.track_history || options.rel_tol > 0.0;
-  LsqResidual residual(a, at, b, x.data(), workers, check);
-
-  WallTimer timer;
-  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
-    const LsqUpdate<kAtomic, kScan> update{&a,           &at,      b.data(),
-                                           col_sq.data(), x.data(), beta};
-    detail::run_engine(pool, options, n, workers, update, residual, report);
-  });
-  report.seconds = timer.seconds();
-  return report;
+  LsqProblem problem(pool, a, at);
+  return detail::report_from_outcome(
+      problem.solve(b, x, to_controls(options)));
 }
 
 AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
                                const std::vector<double>& b,
                                std::vector<double>& x,
                                const AsyncRgsOptions& options) {
-  const CsrMatrix at = a.transpose();
-  return async_lsq_solve(pool, a, at, b, x, options);
+  // The prepared handle materializes A^T through the matrix's shared
+  // transpose cache, so repeated convenience-overload calls against one
+  // matrix build the transpose exactly once.
+  LsqProblem problem(pool, a);
+  return detail::report_from_outcome(
+      problem.solve(b, x, to_controls(options)));
 }
 
 }  // namespace asyrgs

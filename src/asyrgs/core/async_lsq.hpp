@@ -49,7 +49,11 @@ AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
                                std::vector<double>& x,
                                const AsyncRgsOptions& options = {});
 
-/// Convenience overload that materializes the transpose internally.
+/// Convenience overload that materializes the transpose internally, through
+/// the matrix's shared transpose cache (CsrMatrix::transpose_shared) — so
+/// repeated calls against one matrix build A^T exactly once.  For the full
+/// prepare-once / solve-many split (column norms, rank validation, scratch),
+/// use asyrgs::LsqProblem (asyrgs/problem.hpp), which this wraps.
 AsyncRgsReport async_lsq_solve(ThreadPool& pool, const CsrMatrix& a,
                                const std::vector<double>& b,
                                std::vector<double>& x,

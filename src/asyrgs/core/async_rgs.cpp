@@ -1,321 +1,31 @@
+// The one-shot AsyRGS entry points, as thin wrappers over a temporary
+// prepared handle (asyrgs/problem.hpp).  The kernels and the engine
+// invocation live in problem.cpp / core/kernels.hpp — these functions only
+// bind a throwaway SpdProblem and translate SolveOutcome back to the legacy
+// AsyncRgsReport shape, so one-shot and prepared solves share every
+// instruction of the hot path (and equal-seed pinned-scan runs are
+// bit-identical through either interface).
 #include "asyrgs/core/async_rgs.hpp"
 
-#include <cmath>
-#include <vector>
-
-#include "asyrgs/core/engine.hpp"
-#include "asyrgs/linalg/vector_ops.hpp"
-#include "asyrgs/support/aligned.hpp"
-#include "asyrgs/support/atomics.hpp"
-#include "asyrgs/support/timer.hpp"
+#include "asyrgs/problem.hpp"
 
 namespace asyrgs {
-
-namespace {
-
-std::vector<double> checked_inverse_diagonal(const CsrMatrix& a) {
-  require(a.square(), "async_rgs: matrix must be square");
-  std::vector<double> inv = a.diagonal();
-  for (double& d : inv) {
-    require(d > 0.0, "async_rgs: diagonal must be strictly positive");
-    d = 1.0 / d;
-  }
-  return inv;
-}
-
-void validate(const AsyncRgsOptions& options) {
-  require(options.sweeps >= 0, "async_rgs: sweeps must be non-negative");
-  require(options.step_size > 0.0 && options.step_size < 2.0,
-          "async_rgs: step size must be in (0, 2)");
-  require(options.rel_tol >= 0.0, "async_rgs: rel_tol must be non-negative");
-  require(options.sync_interval_seconds > 0.0,
-          "async_rgs: sync interval must be positive");
-}
-
-/// b_r and 1/A_rr interleaved so the two per-update row constants share one
-/// cache line (and usually one 16-byte load pair).
-struct RhsDiagPair {
-  double b;
-  double inv_diag;
-};
-
-std::vector<RhsDiagPair> pack_rhs_diag(const std::vector<double>& b,
-                                       const std::vector<double>& inv_diag) {
-  std::vector<RhsDiagPair> packed(b.size());
-  for (std::size_t i = 0; i < b.size(); ++i)
-    packed[i] = {b[i], inv_diag[i]};
-  return packed;
-}
-
-/// One asynchronous coordinate update on the shared single-RHS iterate,
-/// specialized at compile time on the atomicity mode AND the scan mode so
-/// the hot loop carries no per-update branch and the pinned path compiles to
-/// exactly the pre-ScanMode code.  Pinned: relaxed-atomic reads of x, one
-/// subtraction per nonzero in column order — identical arithmetic to the
-/// sequential solver, so a one-worker run reproduces it bit for bit.
-/// Reassociated: the multi-accumulator/SIMD kernel from sparse/csr.hpp with
-/// plain vector reads of x (see the contract there); the write path is
-/// unchanged.
-template <bool kAtomicWrites, ScanMode kScan>
-struct SingleRhsUpdate {
-  const nnz_t* row_ptr;
-  const index_t* cols;
-  const double* vals;
-  const RhsDiagPair* rhs_diag;
-  double* x;
-  double beta;
-
-  void operator()(int, index_t r, index_t r_ahead) const noexcept {
-    const nnz_t* __restrict rp = row_ptr;
-    const index_t* __restrict ci = cols;
-    const double* __restrict av = vals;
-    const RhsDiagPair* __restrict bd = rhs_diag;
-    // The direction buffer makes the future known: pull an upcoming row's
-    // constants and the head of its index/value arrays into cache while this
-    // row's scan chain retires.
-    const nnz_t ahead_lo = rp[r_ahead];
-    __builtin_prefetch(&bd[r_ahead]);
-    __builtin_prefetch(&av[ahead_lo]);
-    __builtin_prefetch(&ci[ahead_lo]);
-    __builtin_prefetch(&x[r_ahead]);
-    double acc = bd[r].b;
-    const nnz_t lo = rp[r];
-    const nnz_t hi = rp[r + 1];
-    if constexpr (kScan == ScanMode::kReassociated) {
-      acc = csr_row_sub_dot_reassoc(acc, ci + lo, av + lo, hi - lo, x);
-    } else {
-      for (nnz_t t = lo; t < hi; ++t)
-        acc -= av[t] * atomic_load_relaxed(x[ci[t]]);
-    }
-    const double delta = beta * (acc * bd[r].inv_diag);
-    if constexpr (kAtomicWrites)
-      atomic_add_relaxed(x[r], delta);
-    else
-      racy_add(x[r], delta);
-  }
-};
-
-/// One asynchronous update applied to every column of the block iterate.
-/// `gamma` is per-worker scratch of k doubles (cache-line separated slab).
-template <bool kAtomicWrites>
-struct BlockRhsUpdate {
-  const CsrMatrix* a;
-  const MultiVector* b;
-  MultiVector* x;
-  const double* inv_diag;
-  double beta;
-  double* gamma_base;
-  std::size_t gamma_stride;
-
-  void operator()(int worker, index_t r, index_t r_ahead) const noexcept {
-    __builtin_prefetch(x->row(r_ahead));
-    __builtin_prefetch(b->row(r_ahead));
-    double* __restrict gamma =
-        gamma_base + static_cast<std::size_t>(worker) * gamma_stride;
-    const index_t k = b->cols();
-    const double* b_row = b->row(r);
-    for (index_t c = 0; c < k; ++c) gamma[c] = b_row[c];
-    const auto cols = a->row_cols(r);
-    const auto vals = a->row_vals(r);
-    for (std::size_t t = 0; t < cols.size(); ++t) {
-      const double arj = vals[t];
-      const double* x_row = x->row(cols[t]);
-      for (index_t c = 0; c < k; ++c)
-        gamma[c] -= arj * atomic_load_relaxed(x_row[c]);
-    }
-    const double inv = inv_diag[r];
-    double* xr = x->row(r);
-    if constexpr (kAtomicWrites) {
-      for (index_t c = 0; c < k; ++c)
-        atomic_add_relaxed(xr[c], beta * (gamma[c] * inv));
-    } else {
-      for (index_t c = 0; c < k; ++c)
-        racy_add(xr[c], beta * (gamma[c] * inv));
-    }
-  }
-};
-
-/// ||b - A x|| / ||b|| evaluated as a team-parallel reduction over the
-/// workers rendezvoused at the synchronization barrier (the denominator is
-/// constant and precomputed).  Replaces the serial residual that used to run
-/// on worker 0 while the rest of the team spun.
-class SingleRhsResidual {
- public:
-  SingleRhsResidual(const CsrMatrix& a, const std::vector<double>& b,
-                    const double* x, int workers)
-      : a_(a),
-        b_(b),
-        x_(x),
-        reduce_(workers),
-        serial_(!detail::team_residual_profitable(workers)),
-        b_norm_(nrm2(b)) {}
-
-  double operator()(int id, int team) {
-    const auto partial = [&](int w, int t) {
-      const auto [lo, hi] = detail::chunk_of(a_.rows(), w, t);
-      double acc = 0.0;
-      for (index_t i = lo; i < hi; ++i) {
-        double ri = b_[i];
-        const auto cols = a_.row_cols(i);
-        const auto vals = a_.row_vals(i);
-        for (std::size_t s = 0; s < cols.size(); ++s)
-          ri -= vals[s] * atomic_load_relaxed(x_[cols[s]]);
-        acc += ri * ri;
-      }
-      return acc;
-    };
-    // Oversubscribed host: the reduction barriers would cost scheduler
-    // round-trips, so worker 0 evaluates the same chunked partials alone
-    // (bit-identical association — see TeamReduce::run_serial) while the
-    // rest return to the engine's own synchronization barrier.
-    if (serial_ && id != 0) return 0.0;
-    const double num = serial_ ? reduce_.run_serial(team, partial)
-                               : reduce_.run(id, team, partial);
-    if (id != 0) return 0.0;
-    const double rn = std::sqrt(num);
-    return b_norm_ > 0.0 ? rn / b_norm_ : rn;
-  }
-
- private:
-  const CsrMatrix& a_;
-  const std::vector<double>& b_;
-  const double* x_;
-  detail::TeamReduce reduce_;
-  bool serial_;
-  double b_norm_;
-};
-
-/// ||B - A X||_F / ||B||_F, team-parallel over rows (previously a serial
-/// O(nnz * k) loop on worker 0 per sweep).
-class BlockResidual {
- public:
-  BlockResidual(const CsrMatrix& a, const MultiVector& b, const MultiVector& x,
-                int workers)
-      : a_(a),
-        b_(b),
-        x_(x),
-        reduce_(workers),
-        serial_(!detail::team_residual_profitable(workers)),
-        b_norm_(frobenius_norm(b)) {}
-
-  double operator()(int id, int team) {
-    const auto partial = [&](int w, int t) {
-      const index_t k = b_.cols();
-      std::vector<double> row(static_cast<std::size_t>(k));
-      const auto [lo, hi] = detail::chunk_of(a_.rows(), w, t);
-      double acc = 0.0;
-      for (index_t i = lo; i < hi; ++i) {
-        std::fill(row.begin(), row.end(), 0.0);
-        const auto cols = a_.row_cols(i);
-        const auto vals = a_.row_vals(i);
-        for (std::size_t s = 0; s < cols.size(); ++s) {
-          const double aij = vals[s];
-          const double* x_row = x_.row(cols[s]);
-          for (index_t c = 0; c < k; ++c)
-            row[c] += aij * atomic_load_relaxed(x_row[c]);
-        }
-        const double* b_row = b_.row(i);
-        for (index_t c = 0; c < k; ++c) {
-          const double r_ic = b_row[c] - row[c];
-          acc += r_ic * r_ic;
-        }
-      }
-      return acc;
-    };
-    if (serial_ && id != 0) return 0.0;  // see SingleRhsResidual
-    const double num = serial_ ? reduce_.run_serial(team, partial)
-                               : reduce_.run(id, team, partial);
-    if (id != 0) return 0.0;
-    const double rn = std::sqrt(num);
-    return b_norm_ > 0.0 ? rn / b_norm_ : rn;
-  }
-
- private:
-  const CsrMatrix& a_;
-  const MultiVector& b_;
-  const MultiVector& x_;
-  detail::TeamReduce reduce_;
-  bool serial_;
-  double b_norm_;
-};
-
-}  // namespace
 
 AsyncRgsReport async_rgs_solve(ThreadPool& pool, const CsrMatrix& a,
                                const std::vector<double>& b,
                                std::vector<double>& x,
                                const AsyncRgsOptions& options) {
-  require(static_cast<index_t>(b.size()) == a.rows() && x.size() == b.size(),
-          "async_rgs_solve: shape mismatch");
-  validate(options);
-  const index_t n = a.rows();
-  const std::vector<double> inv_diag = checked_inverse_diagonal(a);
-  const double beta = options.step_size;
-
-  int workers = options.workers > 0 ? options.workers : pool.size();
-  if (workers > pool.size()) workers = pool.size();
-
-  AsyncRgsReport report;
-  report.workers = workers;
-
-  const std::vector<RhsDiagPair> rhs_diag = pack_rhs_diag(b, inv_diag);
-  SingleRhsResidual residual(a, b, x.data(), workers);
-
-  WallTimer timer;
-  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
-    const SingleRhsUpdate<kAtomic, kScan> update{
-        a.row_ptr().data(), a.col_idx().data(), a.values().data(),
-        rhs_diag.data(),    x.data(),           beta};
-    detail::run_engine(pool, options, n, workers, update, residual, report);
-  });
-  report.seconds = timer.seconds();
-  return report;
+  SpdProblem problem(pool, a, /*check_input=*/false);
+  return detail::report_from_outcome(
+      problem.solve(b, x, to_controls(options)));
 }
 
 AsyncRgsReport async_rgs_solve_block(ThreadPool& pool, const CsrMatrix& a,
                                      const MultiVector& b, MultiVector& x,
                                      const AsyncRgsOptions& options) {
-  require(b.rows() == a.rows() && x.rows() == a.rows() &&
-              b.cols() == x.cols(),
-          "async_rgs_solve_block: shape mismatch");
-  validate(options);
-  const index_t n = a.rows();
-  const index_t k = b.cols();
-  const std::vector<double> inv_diag = checked_inverse_diagonal(a);
-  const double beta = options.step_size;
-
-  int workers = options.workers > 0 ? options.workers : pool.size();
-  if (workers > pool.size()) workers = pool.size();
-
-  AsyncRgsReport report;
-  report.workers = workers;
-
-  // Per-worker gamma scratch in one aligned slab, strided to whole cache
-  // lines with a guard line between workers: adjacent heap allocations here
-  // would false-share and destroy block-solve scaling.
-  const std::size_t doubles_per_line = kCacheLineBytes / sizeof(double);
-  const std::size_t stride =
-      ((static_cast<std::size_t>(k) + doubles_per_line - 1) /
-       doubles_per_line) *
-          doubles_per_line +
-      doubles_per_line;
-  aligned_vector<double> gamma_scratch(stride *
-                                       static_cast<std::size_t>(workers));
-
-  BlockResidual residual(a, b, x, workers);
-
-  WallTimer timer;
-  if (options.atomic_writes) {
-    const BlockRhsUpdate<true> update{&a,   &b, &x, inv_diag.data(), beta,
-                                      gamma_scratch.data(), stride};
-    detail::run_engine(pool, options, n, workers, update, residual, report);
-  } else {
-    const BlockRhsUpdate<false> update{&a,   &b, &x, inv_diag.data(), beta,
-                                       gamma_scratch.data(), stride};
-    detail::run_engine(pool, options, n, workers, update, residual, report);
-  }
-  report.seconds = timer.seconds();
-  return report;
+  SpdProblem problem(pool, a, /*check_input=*/false);
+  return detail::report_from_outcome(
+      problem.solve(b, x, to_controls(options)));
 }
 
 }  // namespace asyrgs

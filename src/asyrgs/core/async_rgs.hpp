@@ -130,6 +130,12 @@ struct AsyncRgsReport {
   bool converged = false;
   double final_relative_residual = 0.0;  ///< when history/tolerance active
   std::vector<double> residual_history;  ///< per sweep (barrier mode only)
+  /// Row-scan FP association the kernels actually executed.  Equals the
+  /// requested AsyncRgsOptions::scan except for the block solver, which
+  /// always runs the pinned scan (its inner loops are column-parallel
+  /// already) and reports kPinned here even when kReassociated was
+  /// requested — see docs/TUNING.md.
+  ScanMode scan_used = ScanMode::kPinned;
 };
 
 /// Runs AsyRGS on SPD A x = b starting from `x` (updated in place).

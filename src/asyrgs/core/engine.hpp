@@ -293,6 +293,84 @@ class TeamReduce {
   std::vector<Padded<double>> partial_;
 };
 
+/// Reusable solver scratch: per-worker direction buffers, the team-reduce
+/// used by residual functors, a cache-line-strided per-worker double slab
+/// (block gamma scratch), and a dense double buffer (least-squares residual).
+/// A prepared problem handle (asyrgs/problem.hpp) owns one of these and hands
+/// it to every solve so repeated solves against one matrix re-use the
+/// allocations; the free-function wrappers create a throwaway instance.
+///
+/// Thread-safety inside a run: prepare() must be called before the team
+/// starts; after that each worker touches only its own dirs(w, ...) slot, so
+/// no two workers ever grow the same vector.  Across runs the scratch is
+/// single-owner (the handle serializes solves).
+class EngineScratch {
+ public:
+  /// Sizes the per-worker slot array.  Must be called before run_team and
+  /// never during one.
+  void prepare(int workers) {
+    if (static_cast<int>(dirs_.size()) < workers)
+      dirs_.resize(static_cast<std::size_t>(workers));
+  }
+
+  /// Worker w's direction buffer with room for `capacity` picks.  Grows
+  /// (never shrinks), counting each growth as one allocation event.
+  [[nodiscard]] index_t* dirs(int w, std::size_t capacity) {
+    std::vector<index_t>& buf = dirs_[static_cast<std::size_t>(w)];
+    if (buf.size() < capacity) {
+      buf.resize(capacity);
+      allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return buf.data();
+  }
+
+  /// Team reduction sized for `workers`, rebuilt only when the team size
+  /// changes between solves.
+  [[nodiscard]] TeamReduce& reduce(int workers) {
+    if (!reduce_ || reduce_workers_ != workers) {
+      reduce_.emplace(workers);
+      reduce_workers_ = workers;
+      allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *reduce_;
+  }
+
+  /// Cache-line-aligned slab of `workers * stride` doubles (block solver
+  /// gamma scratch; stride must already include the false-sharing guard).
+  [[nodiscard]] double* slab(int workers, std::size_t stride) {
+    const std::size_t need = stride * static_cast<std::size_t>(workers);
+    if (slab_.size() < need) {
+      slab_.resize(need);
+      allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return slab_.data();
+  }
+
+  /// Dense double buffer of at least `size` entries (least-squares residual
+  /// r = b - A x at synchronization points).
+  [[nodiscard]] double* dense(std::size_t size) {
+    if (dense_.size() < size) {
+      dense_.resize(size);
+      allocations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return dense_.data();
+  }
+
+  /// Number of growth events so far — a prepared handle's second solve with
+  /// unchanged shape/team must not increase this (asserted by tests).
+  [[nodiscard]] long long allocations() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::vector<index_t>> dirs_;
+  std::optional<TeamReduce> reduce_;
+  int reduce_workers_ = 0;
+  aligned_vector<double> slab_;
+  std::vector<double> dense_;
+  std::atomic<long long> allocations_{0};
+};
+
 /// Generic execution engine shared by the single-RHS, block, and
 /// least-squares asynchronous solvers.
 ///
@@ -308,10 +386,17 @@ class TeamReduce {
 /// The thread pool may shrink a team to 1 on nested calls; the engine then
 /// builds the matching single-worker DirectionPlan lazily instead of paying
 /// for a throwaway fallback plan in every worker.
+///
+/// `scratch` (optional) supplies reusable per-worker direction buffers; a
+/// prepared handle passes its own so repeated solves skip the allocations,
+/// while one-shot callers leave it null and pay a local scratch per call.
 template <typename UpdateFn, typename ResidualFn>
 void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
                 int workers, UpdateFn&& update, ResidualFn&& residual,
-                AsyncRgsReport& report) {
+                AsyncRgsReport& report, EngineScratch* scratch = nullptr) {
+  EngineScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  scratch->prepare(workers);
   const bool check_enabled = options.track_history || options.rel_tol > 0.0;
   const int sweeps = options.sweeps;
   const long long total_target =
@@ -340,14 +425,14 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
       // sweep-equivalent, never one per refill.
       const std::size_t chunk_cap = static_cast<std::size_t>(
           std::min<std::uint64_t>(kDirectionChunk, per_sweep));
-      std::vector<index_t> dirs(chunk_cap);
+      index_t* const dirs = scratch->dirs(id, chunk_cap);
       std::uint64_t k = 0;
       std::uint64_t since_yield = 0;
       while (k < my_total) {
         const std::size_t chunk = static_cast<std::size_t>(
             std::min<std::uint64_t>(chunk_cap, my_total - k));
-        my_plan->fill(id, k, chunk, dirs.data());
-        const index_t* d = dirs.data();
+        my_plan->fill(id, k, chunk, dirs);
+        const index_t* d = dirs;
         for (std::size_t i = 0; i < chunk; ++i)
           update(id, d[i], d[std::min(i + kPrefetchDistance, chunk - 1)]);
         k += chunk;
@@ -377,16 +462,18 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
         my_plan = &*shrunk;
       }
       const index_t mine = my_plan->per_sweep(id);
-      std::vector<index_t> dirs(static_cast<std::size_t>(
+      const index_t chunk_cap =
           std::min<index_t>(static_cast<index_t>(kDirectionChunk),
-                            std::max<index_t>(mine, 1))));
+                            std::max<index_t>(mine, 1));
+      index_t* const dirs =
+          scratch->dirs(id, static_cast<std::size_t>(chunk_cap));
       for (int sweep = 0; sweep < sweeps; ++sweep) {
         index_t t = 0;
         while (t < mine) {
-          const std::size_t chunk = static_cast<std::size_t>(
-              std::min<index_t>(static_cast<index_t>(dirs.size()), mine - t));
-          my_plan->fill_in_sweep(id, sweep, t, chunk, dirs.data());
-          const index_t* d = dirs.data();
+          const std::size_t chunk =
+              static_cast<std::size_t>(std::min<index_t>(chunk_cap, mine - t));
+          my_plan->fill_in_sweep(id, sweep, t, chunk, dirs);
+          const index_t* d = dirs;
           for (std::size_t i = 0; i < chunk; ++i)
             update(id, d[i], d[std::min(i + kPrefetchDistance, chunk - 1)]);
           t += static_cast<index_t>(chunk);
@@ -437,7 +524,7 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
         std::max<index_t>(my_plan->per_sweep(id), 1));
     const std::size_t chunk_cap = static_cast<std::size_t>(
         std::min<std::uint64_t>(kDirectionChunk, per_sweep));
-    std::vector<index_t> dirs(chunk_cap);
+    index_t* const dirs = scratch->dirs(id, chunk_cap);
     std::uint64_t k = 0;
     std::uint64_t since_yield = 0;
     while (!stop.load(std::memory_order_acquire)) {
@@ -446,8 +533,8 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
       while (k < my_total) {
         const std::size_t chunk = static_cast<std::size_t>(
             std::min<std::uint64_t>(chunk_cap, my_total - k));
-        my_plan->fill(id, k, chunk, dirs.data());
-        const index_t* d = dirs.data();
+        my_plan->fill(id, k, chunk, dirs);
+        const index_t* d = dirs;
         for (std::size_t i = 0; i < chunk; ++i)
           update(id, d[i], d[std::min(i + kPrefetchDistance, chunk - 1)]);
         k += chunk;

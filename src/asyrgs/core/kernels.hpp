@@ -1,0 +1,373 @@
+// Shared coordinate-update and residual kernels (internal).
+//
+// The compile-time-specialized update functors and the team-parallel
+// residual functors used by the asynchronous solvers.  They were anonymous
+// namespace members of async_rgs.cpp / async_lsq.cpp until the prepared-
+// solver handles (asyrgs/problem.hpp) needed to invoke the same kernels from
+// one place; like core/engine.hpp, nothing in asyrgs::detail is a stable
+// public API.
+//
+// Residual functors borrow their TeamReduce (barrier + partial slots) from
+// the caller instead of owning one, so a prepared handle can keep the
+// reduction scratch alive across solves.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "asyrgs/core/async_rgs.hpp"
+#include "asyrgs/core/engine.hpp"
+#include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/linalg/vector_ops.hpp"
+#include "asyrgs/sparse/csr.hpp"
+#include "asyrgs/support/atomics.hpp"
+
+namespace asyrgs::detail {
+
+/// b_r and 1/A_rr interleaved so the two per-update row constants share one
+/// cache line (and usually one 16-byte load pair).
+struct RhsDiagPair {
+  double b;
+  double inv_diag;
+};
+
+/// Refills `packed` (resized, allocation reused across calls) with the
+/// interleaved (b, 1/diag) pairs.
+inline void pack_rhs_diag(const std::vector<double>& b,
+                          const std::vector<double>& inv_diag,
+                          std::vector<RhsDiagPair>& packed) {
+  packed.resize(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    packed[i] = {b[i], inv_diag[i]};
+}
+
+/// One asynchronous coordinate update on the shared single-RHS iterate,
+/// specialized at compile time on the atomicity mode AND the scan mode so
+/// the hot loop carries no per-update branch and the pinned path compiles to
+/// exactly the pre-ScanMode code.  Pinned: relaxed-atomic reads of x, one
+/// subtraction per nonzero in column order — identical arithmetic to the
+/// sequential solver, so a one-worker run reproduces it bit for bit.
+/// Reassociated: the multi-accumulator/SIMD kernel from sparse/csr.hpp with
+/// plain vector reads of x (see the contract there); the write path is
+/// unchanged.
+template <bool kAtomicWrites, ScanMode kScan>
+struct SingleRhsUpdate {
+  const nnz_t* row_ptr;
+  const index_t* cols;
+  const double* vals;
+  const RhsDiagPair* rhs_diag;
+  double* x;
+  double beta;
+
+  void operator()(int, index_t r, index_t r_ahead) const noexcept {
+    const nnz_t* __restrict rp = row_ptr;
+    const index_t* __restrict ci = cols;
+    const double* __restrict av = vals;
+    const RhsDiagPair* __restrict bd = rhs_diag;
+    // The direction buffer makes the future known: pull an upcoming row's
+    // constants and the head of its index/value arrays into cache while this
+    // row's scan chain retires.
+    const nnz_t ahead_lo = rp[r_ahead];
+    __builtin_prefetch(&bd[r_ahead]);
+    __builtin_prefetch(&av[ahead_lo]);
+    __builtin_prefetch(&ci[ahead_lo]);
+    __builtin_prefetch(&x[r_ahead]);
+    double acc = bd[r].b;
+    const nnz_t lo = rp[r];
+    const nnz_t hi = rp[r + 1];
+    if constexpr (kScan == ScanMode::kReassociated) {
+      acc = csr_row_sub_dot_reassoc(acc, ci + lo, av + lo, hi - lo, x);
+    } else {
+      for (nnz_t t = lo; t < hi; ++t)
+        acc -= av[t] * atomic_load_relaxed(x[ci[t]]);
+    }
+    const double delta = beta * (acc * bd[r].inv_diag);
+    if constexpr (kAtomicWrites)
+      atomic_add_relaxed(x[r], delta);
+    else
+      racy_add(x[r], delta);
+  }
+};
+
+/// One asynchronous update applied to every column of the block iterate.
+/// `gamma` is per-worker scratch of k doubles (cache-line separated slab).
+template <bool kAtomicWrites>
+struct BlockRhsUpdate {
+  const CsrMatrix* a;
+  const MultiVector* b;
+  MultiVector* x;
+  const double* inv_diag;
+  double beta;
+  double* gamma_base;
+  std::size_t gamma_stride;
+
+  void operator()(int worker, index_t r, index_t r_ahead) const noexcept {
+    __builtin_prefetch(x->row(r_ahead));
+    __builtin_prefetch(b->row(r_ahead));
+    double* __restrict gamma =
+        gamma_base + static_cast<std::size_t>(worker) * gamma_stride;
+    const index_t k = b->cols();
+    const double* b_row = b->row(r);
+    for (index_t c = 0; c < k; ++c) gamma[c] = b_row[c];
+    const auto cols = a->row_cols(r);
+    const auto vals = a->row_vals(r);
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      const double arj = vals[t];
+      const double* x_row = x->row(cols[t]);
+      for (index_t c = 0; c < k; ++c)
+        gamma[c] -= arj * atomic_load_relaxed(x_row[c]);
+    }
+    const double inv = inv_diag[r];
+    double* xr = x->row(r);
+    if constexpr (kAtomicWrites) {
+      for (index_t c = 0; c < k; ++c)
+        atomic_add_relaxed(xr[c], beta * (gamma[c] * inv));
+    } else {
+      for (index_t c = 0; c < k; ++c)
+        racy_add(xr[c], beta * (gamma[c] * inv));
+    }
+  }
+};
+
+/// ||b - A x|| / ||b|| evaluated as a team-parallel reduction over the
+/// workers rendezvoused at the synchronization barrier (the denominator is
+/// constant and precomputed).
+class SingleRhsResidual {
+ public:
+  SingleRhsResidual(const CsrMatrix& a, const std::vector<double>& b,
+                    const double* x, int workers, TeamReduce& reduce)
+      : a_(a),
+        b_(b),
+        x_(x),
+        reduce_(reduce),
+        serial_(!team_residual_profitable(workers)),
+        b_norm_(nrm2(b)) {}
+
+  double operator()(int id, int team) {
+    const auto partial = [&](int w, int t) {
+      const auto [lo, hi] = chunk_of(a_.rows(), w, t);
+      double acc = 0.0;
+      for (index_t i = lo; i < hi; ++i) {
+        double ri = b_[i];
+        const auto cols = a_.row_cols(i);
+        const auto vals = a_.row_vals(i);
+        for (std::size_t s = 0; s < cols.size(); ++s)
+          ri -= vals[s] * atomic_load_relaxed(x_[cols[s]]);
+        acc += ri * ri;
+      }
+      return acc;
+    };
+    // Oversubscribed host: the reduction barriers would cost scheduler
+    // round-trips, so worker 0 evaluates the same chunked partials alone
+    // (bit-identical association — see TeamReduce::run_serial) while the
+    // rest return to the engine's own synchronization barrier.
+    if (serial_ && id != 0) return 0.0;
+    const double num = serial_ ? reduce_.run_serial(team, partial)
+                               : reduce_.run(id, team, partial);
+    if (id != 0) return 0.0;
+    const double rn = std::sqrt(num);
+    return b_norm_ > 0.0 ? rn / b_norm_ : rn;
+  }
+
+ private:
+  const CsrMatrix& a_;
+  const std::vector<double>& b_;
+  const double* x_;
+  TeamReduce& reduce_;
+  bool serial_;
+  double b_norm_;
+};
+
+/// ||B - A X||_F / ||B||_F, team-parallel over rows.
+class BlockResidual {
+ public:
+  BlockResidual(const CsrMatrix& a, const MultiVector& b, const MultiVector& x,
+                int workers, TeamReduce& reduce)
+      : a_(a),
+        b_(b),
+        x_(x),
+        reduce_(reduce),
+        serial_(!team_residual_profitable(workers)),
+        b_norm_(frobenius_norm(b)) {}
+
+  double operator()(int id, int team) {
+    const auto partial = [&](int w, int t) {
+      const index_t k = b_.cols();
+      std::vector<double> row(static_cast<std::size_t>(k));
+      const auto [lo, hi] = chunk_of(a_.rows(), w, t);
+      double acc = 0.0;
+      for (index_t i = lo; i < hi; ++i) {
+        std::fill(row.begin(), row.end(), 0.0);
+        const auto cols = a_.row_cols(i);
+        const auto vals = a_.row_vals(i);
+        for (std::size_t s = 0; s < cols.size(); ++s) {
+          const double aij = vals[s];
+          const double* x_row = x_.row(cols[s]);
+          for (index_t c = 0; c < k; ++c)
+            row[c] += aij * atomic_load_relaxed(x_row[c]);
+        }
+        const double* b_row = b_.row(i);
+        for (index_t c = 0; c < k; ++c) {
+          const double r_ic = b_row[c] - row[c];
+          acc += r_ic * r_ic;
+        }
+      }
+      return acc;
+    };
+    if (serial_ && id != 0) return 0.0;  // see SingleRhsResidual
+    const double num = serial_ ? reduce_.run_serial(team, partial)
+                               : reduce_.run(id, team, partial);
+    if (id != 0) return 0.0;
+    const double rn = std::sqrt(num);
+    return b_norm_ > 0.0 ? rn / b_norm_ : rn;
+  }
+
+ private:
+  const CsrMatrix& a_;
+  const MultiVector& b_;
+  const MultiVector& x_;
+  TeamReduce& reduce_;
+  bool serial_;
+  double b_norm_;
+};
+
+/// One asynchronous column update (iteration (21)): the residual entries for
+/// the column's rows are recomputed from shared x on every step.  Specialized
+/// at compile time on the atomicity mode and on the scan mode — the inner
+/// r_i = b_i - A_i x row scans are this kernel's dominant FP cost, so
+/// ScanMode::kReassociated routes them through the multi-accumulator/SIMD
+/// kernel (plain vector reads of the shared iterate; see sparse/csr.hpp).
+template <bool kAtomicWrites, ScanMode kScan>
+struct LsqUpdate {
+  const CsrMatrix* a;
+  const CsrMatrix* at;
+  const double* b;
+  const double* col_sq;
+  double* x;
+  double beta;
+
+  void operator()(int, index_t j, index_t j_ahead) const noexcept {
+    __builtin_prefetch(at->row_cols(j_ahead).data());
+    __builtin_prefetch(at->row_vals(j_ahead).data());
+    const auto rows = at->row_cols(j);
+    const auto col_vals = at->row_vals(j);
+    double gamma = 0.0;
+    for (std::size_t s = 0; s < rows.size(); ++s) {
+      const index_t i = rows[s];
+      // r_i = b_i - A_i x; pinned mode reads the shared iterate with
+      // relaxed-atomic loads, reassociated mode with vector gathers.
+      double ri;
+      if constexpr (kScan == ScanMode::kReassociated) {
+        const auto arow_cols = a->row_cols(i);
+        const auto arow_vals = a->row_vals(i);
+        ri = csr_row_sub_dot_reassoc(b[i], arow_cols.data(), arow_vals.data(),
+                                     static_cast<nnz_t>(arow_cols.size()), x);
+      } else {
+        ri = b[i];
+        const auto arow_cols = a->row_cols(i);
+        const auto arow_vals = a->row_vals(i);
+        for (std::size_t q = 0; q < arow_cols.size(); ++q)
+          ri -= arow_vals[q] * atomic_load_relaxed(x[arow_cols[q]]);
+      }
+      gamma += col_vals[s] * ri;
+    }
+    const double delta = beta * gamma / col_sq[j];
+    if constexpr (kAtomicWrites)
+      atomic_add_relaxed(x[j], delta);
+    else
+      racy_add(x[j], delta);
+  }
+};
+
+/// ||A^T (b - A x)|| / ||A^T b|| as a two-phase team-parallel reduction at
+/// synchronization points: phase 1 materializes r = b - A x (row chunks),
+/// phase 2 reduces ||A^T r||^2 (column chunks via the rows of A^T).  The
+/// denominator ||A^T b|| is an invariant of the run and computed once at
+/// construction; `r` is caller-provided scratch of a.rows() doubles so a
+/// prepared handle re-uses the buffer across solves.
+class LsqResidual {
+ public:
+  LsqResidual(const CsrMatrix& a, const CsrMatrix& at,
+              const std::vector<double>& b, const double* x, int workers,
+              TeamReduce& reduce, double* r, bool enabled)
+      : a_(a),
+        at_(at),
+        b_(b),
+        x_(x),
+        reduce_(reduce),
+        serial_(!team_residual_profitable(workers)),
+        r_(r) {
+    if (!enabled) return;
+    std::vector<double> g0(static_cast<std::size_t>(a.cols()));
+    a.multiply_transpose(b.data(), g0.data());
+    denom_ = nrm2(g0);
+  }
+
+  double operator()(int id, int team) {
+    // Oversubscribed host: both phases run serially on worker 0 with the
+    // same chunked association as the team-parallel path (see
+    // TeamReduce::run_serial and docs/TUNING.md for the heuristic); the
+    // other workers return straight to the engine's synchronization
+    // barrier.
+    if (serial_ && id != 0) return 0.0;
+    // Phase 1: r = b - A x over this worker's row chunk (the whole range
+    // when serial; the entries are independent, so chunking does not
+    // affect their values).
+    {
+      const auto [lo, hi] = serial_ ? chunk_of(a_.rows(), 0, 1)
+                                    : chunk_of(a_.rows(), id, team);
+      for (index_t i = lo; i < hi; ++i) {
+        double ri = b_[i];
+        const auto cols = a_.row_cols(i);
+        const auto vals = a_.row_vals(i);
+        for (std::size_t s = 0; s < cols.size(); ++s)
+          ri -= vals[s] * atomic_load_relaxed(x_[cols[s]]);
+        r_[i] = ri;
+      }
+    }
+    if (!serial_ && team > 1) reduce_.barrier().arrive_and_wait();
+    // Phase 2: ||A^T r||^2 over this worker's chunk of A^T rows.
+    const auto partial = [&](int w, int t) {
+      const auto [lo, hi] = chunk_of(at_.rows(), w, t);
+      double acc = 0.0;
+      for (index_t j = lo; j < hi; ++j) {
+        const auto rows = at_.row_cols(j);
+        const auto vals = at_.row_vals(j);
+        double g = 0.0;
+        for (std::size_t s = 0; s < rows.size(); ++s)
+          g += vals[s] * r_[rows[s]];
+        acc += g * g;
+      }
+      return acc;
+    };
+    const double num = serial_ ? reduce_.run_serial(team, partial)
+                               : reduce_.run(id, team, partial);
+    if (id != 0) return 0.0;
+    const double rn = std::sqrt(num);
+    return denom_ > 0.0 ? rn / denom_ : rn;
+  }
+
+ private:
+  const CsrMatrix& a_;
+  const CsrMatrix& at_;
+  const std::vector<double>& b_;
+  const double* x_;
+  TeamReduce& reduce_;
+  bool serial_;
+  double* r_;
+  double denom_ = 0.0;
+};
+
+/// Squared Euclidean norms of the columns of A, read off the rows of A^T.
+inline std::vector<double> column_sq_norms(const CsrMatrix& at) {
+  std::vector<double> sq(static_cast<std::size_t>(at.rows()), 0.0);
+  for (index_t j = 0; j < at.rows(); ++j) {
+    double acc = 0.0;
+    for (double v : at.row_vals(j)) acc += v * v;
+    sq[j] = acc;
+  }
+  return sq;
+}
+
+}  // namespace asyrgs::detail

@@ -2,6 +2,7 @@
 
 #include "asyrgs/core/async_rgs.hpp"
 #include "asyrgs/core/rgs.hpp"
+#include "asyrgs/problem.hpp"
 #include "asyrgs/support/prng.hpp"
 
 namespace asyrgs {
@@ -53,8 +54,8 @@ AsyRgsPreconditioner::AsyRgsPreconditioner(ThreadPool& pool,
                                            int workers, double step_size,
                                            std::uint64_t seed,
                                            bool atomic_writes, ScanMode scan)
-    : pool_(pool),
-      a_(a),
+    : owned_(std::make_unique<SpdProblem>(pool, a, /*check_input=*/false)),
+      problem_(owned_.get()),
       sweeps_(sweeps),
       workers_(workers),
       step_size_(step_size),
@@ -64,18 +65,40 @@ AsyRgsPreconditioner::AsyRgsPreconditioner(ThreadPool& pool,
   require(sweeps > 0, "AsyRgsPreconditioner: sweeps must be positive");
 }
 
+AsyRgsPreconditioner::AsyRgsPreconditioner(SpdProblem& problem, int sweeps,
+                                           int workers, double step_size,
+                                           std::uint64_t seed,
+                                           bool atomic_writes, ScanMode scan)
+    : problem_(&problem),
+      sweeps_(sweeps),
+      workers_(workers),
+      step_size_(step_size),
+      seed_(seed),
+      atomic_writes_(atomic_writes),
+      scan_(scan) {
+  require(sweeps > 0, "AsyRgsPreconditioner: sweeps must be positive");
+}
+
+AsyRgsPreconditioner::~AsyRgsPreconditioner() = default;
+
 void AsyRgsPreconditioner::apply(const std::vector<double>& r,
                                  std::vector<double>& z) {
   z.assign(r.size(), 0.0);
-  AsyncRgsOptions opt;
-  opt.sweeps = sweeps_;
-  opt.step_size = step_size_;
-  opt.workers = workers_;
-  opt.atomic_writes = atomic_writes_;
-  opt.scan = scan_;
-  opt.sync = SyncMode::kFreeRunning;
-  opt.seed = splitmix64(seed_ + ++applications_);
-  async_rgs_solve(pool_, a_, r, z, opt);
+  // Identical options to the pre-handle implementation; only the prepared
+  // state (diagonal reciprocals, rhs packing buffer, direction scratch) is
+  // now reused across applications instead of rebuilt each outer iteration.
+  SolveControls controls;
+  controls.method = SpdMethod::kAsyncRgs;
+  controls.sweeps = sweeps_;
+  controls.step_size = step_size_;
+  controls.workers = workers_;
+  controls.atomic_writes = atomic_writes_;
+  controls.scan = scan_;
+  controls.sync = SyncMode::kFreeRunning;
+  // A fresh direction stream per application keeps applications independent
+  // (and the preconditioner "variable" in the flexible-Krylov sense).
+  controls.seed = splitmix64(seed_ + ++applications_);
+  problem_->solve(r, z, controls);
 }
 
 std::string AsyRgsPreconditioner::name() const {

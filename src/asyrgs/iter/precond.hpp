@@ -19,6 +19,8 @@
 
 namespace asyrgs {
 
+class SpdProblem;  // asyrgs/problem.hpp (prepared-solver handle)
+
 /// Approximate application of A^{-1}: z ~= A^{-1} r.
 class Preconditioner {
  public:
@@ -79,6 +81,11 @@ class RgsPreconditioner final : public Preconditioner {
 /// applications, so ScanMode::kReassociated costs nothing extra in
 /// reproducibility here — the flexible outer method absorbs the variation.
 ///
+/// Every application runs through one prepared SpdProblem handle — owned by
+/// the preconditioner (first constructor) or borrowed from the caller
+/// (second constructor) — so the matrix analysis and per-worker scratch are
+/// paid once, not once per outer iteration.
+///
 /// Thread-safety: apply() runs a team on the shared pool; concurrent apply()
 /// calls on one instance are not supported (the application counter that
 /// reseeds each call is unsynchronized by design).
@@ -88,6 +95,15 @@ class AsyRgsPreconditioner final : public Preconditioner {
                        int workers, double step_size = 1.0,
                        std::uint64_t seed = 99, bool atomic_writes = true,
                        ScanMode scan = ScanMode::kPinned);
+  /// Borrows an existing prepared handle (not owned; must outlive this
+  /// preconditioner).  Used by SpdProblem's own FCG path so the outer solve
+  /// and the inner sweeps share one set of cached reciprocals and scratch.
+  AsyRgsPreconditioner(SpdProblem& problem, int sweeps, int workers,
+                       double step_size = 1.0, std::uint64_t seed = 99,
+                       bool atomic_writes = true,
+                       ScanMode scan = ScanMode::kPinned);
+  ~AsyRgsPreconditioner() override;  // out-of-line: SpdProblem is incomplete
+
   void apply(const std::vector<double>& r, std::vector<double>& z) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool is_variable() const override { return true; }
@@ -96,8 +112,8 @@ class AsyRgsPreconditioner final : public Preconditioner {
   [[nodiscard]] int workers() const noexcept { return workers_; }
 
  private:
-  ThreadPool& pool_;
-  const CsrMatrix& a_;
+  std::unique_ptr<SpdProblem> owned_;  // first constructor only
+  SpdProblem* problem_;                // always valid
   int sweeps_;
   int workers_;
   double step_size_;

@@ -1,0 +1,440 @@
+#include "asyrgs/problem.hpp"
+
+#include <utility>
+
+#include "asyrgs/core/engine.hpp"
+#include "asyrgs/core/kernels.hpp"
+#include "asyrgs/iter/cg.hpp"
+#include "asyrgs/iter/fcg.hpp"
+#include "asyrgs/iter/precond.hpp"
+#include "asyrgs/linalg/norms.hpp"
+#include "asyrgs/sparse/properties.hpp"
+#include "asyrgs/support/aligned.hpp"
+#include "asyrgs/support/timer.hpp"
+
+namespace asyrgs {
+
+namespace detail {
+
+/// Per-handle reusable solver scratch: the packed (b, 1/diag) pairs refilled
+/// each solve, plus the engine's per-worker buffers.  Lives behind a pimpl
+/// so problem.hpp stays free of the unstable engine/kernel internals.
+struct ProblemScratch {
+  std::vector<RhsDiagPair> rhs_diag;
+  EngineScratch engine;
+};
+
+}  // namespace detail
+
+namespace {
+
+void validate_async_controls(const AsyncRgsOptions& options, const char* who) {
+  // One message per violated precondition; `who` names the entry point.
+  auto fail = [&](const char* what) {
+    throw Error(std::string(who) + ": " + what);
+  };
+  if (options.sweeps < 0) fail("sweeps must be non-negative");
+  if (!(options.step_size > 0.0 && options.step_size < 2.0))
+    fail("step size must be in (0, 2)");
+  if (options.rel_tol < 0.0) fail("rel_tol must be non-negative");
+  if (!(options.sync_interval_seconds > 0.0))
+    fail("sync interval must be positive");
+}
+
+const char* sync_name(SyncMode sync) {
+  switch (sync) {
+    case SyncMode::kFreeRunning:
+      return "free running";
+    case SyncMode::kBarrierPerSweep:
+      return "barrier per sweep";
+    case SyncMode::kTimedBarrier:
+      return "timed barrier";
+  }
+  return "?";
+}
+
+int clamp_workers(int requested, const ThreadPool& pool) {
+  int workers = requested > 0 ? requested : pool.size();
+  if (workers > pool.size()) workers = pool.size();
+  return workers;
+}
+
+/// Maps an engine report onto the unified outcome.  `tolerance_active` says
+/// whether a tolerance could actually stop the run (rel_tol > 0 under a
+/// synchronizing mode) — free-running runs never evaluate residuals, so for
+/// them an unmet rel_tol is kBudgetCompleted, not kToleranceNotReached.
+SolveOutcome outcome_from_report(AsyncRgsReport&& report,
+                                 const AsyncRgsOptions& options,
+                                 std::string description) {
+  SolveOutcome out;
+  const bool tolerance_active =
+      options.rel_tol > 0.0 && options.sync != SyncMode::kFreeRunning;
+  out.status = report.converged ? SolveStatus::kConverged
+               : tolerance_active ? SolveStatus::kToleranceNotReached
+                                  : SolveStatus::kBudgetCompleted;
+  out.iterations = report.sweeps_done;
+  out.updates = report.updates;
+  out.workers = report.workers;
+  out.relative_residual = report.final_relative_residual;
+  out.seconds = report.seconds;
+  out.scan_requested = options.scan;
+  out.scan_executed = report.scan_used;
+  out.residual_history = std::move(report.residual_history);
+  out.description = std::move(description);
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+AsyncRgsReport report_from_outcome(SolveOutcome&& out) {
+  AsyncRgsReport report;
+  report.sweeps_done = out.iterations;
+  report.updates = out.updates;
+  report.workers = out.workers;
+  report.seconds = out.seconds;
+  report.converged = out.status == SolveStatus::kConverged;
+  report.final_relative_residual = out.relative_residual;
+  report.residual_history = std::move(out.residual_history);
+  report.scan_used = out.scan_executed;
+  return report;
+}
+
+}  // namespace detail
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kConverged:
+      return "converged";
+    case SolveStatus::kToleranceNotReached:
+      return "tolerance-not-reached";
+    case SolveStatus::kBudgetCompleted:
+      return "budget-completed";
+  }
+  return "?";
+}
+
+SolveControls to_controls(const AsyncRgsOptions& options) {
+  SolveControls c;
+  c.method = SpdMethod::kAsyncRgs;
+  c.sweeps = options.sweeps;
+  c.step_size = options.step_size;
+  c.seed = options.seed;
+  c.workers = options.workers;
+  c.atomic_writes = options.atomic_writes;
+  c.sync = options.sync;
+  c.scope = options.scope;
+  c.scan = options.scan;
+  c.sync_interval_seconds = options.sync_interval_seconds;
+  c.track_history = options.track_history;
+  c.rel_tol = options.rel_tol;
+  return c;
+}
+
+AsyncRgsOptions to_async_rgs_options(const SolveControls& controls) {
+  AsyncRgsOptions o;
+  o.sweeps = controls.sweeps;
+  o.step_size = controls.step_size;
+  o.seed = controls.seed;
+  o.workers = controls.workers;
+  o.atomic_writes = controls.atomic_writes;
+  o.sync = controls.sync;
+  o.scope = controls.scope;
+  o.scan = controls.scan;
+  o.sync_interval_seconds = controls.sync_interval_seconds;
+  o.track_history = controls.track_history;
+  o.rel_tol = controls.rel_tol;
+  return o;
+}
+
+// --- SpdProblem --------------------------------------------------------------
+
+SpdProblem::SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input)
+    : pool_(pool),
+      a_(a),
+      scratch_(std::make_unique<detail::ProblemScratch>()) {
+  require(a.square(), "SpdProblem: matrix must be square");
+  inv_diag_ = a.diagonal();
+  for (double& d : inv_diag_) {
+    require(d > 0.0, "SpdProblem: diagonal must be strictly positive "
+                     "(matrix cannot be SPD)");
+    d = 1.0 / d;
+  }
+  ++stats_.validation_passes;
+  if (check_input) {
+    // Symmetry check through the matrix's shared transpose cache: the
+    // transpose this builds is reused by later handles (and by any
+    // least-squares use of the same matrix) instead of being rebuilt.
+    bool built_now = false;
+    const std::shared_ptr<const CsrMatrix> at = a.transpose_shared(&built_now);
+    if (built_now) ++stats_.transpose_builds;
+    require(a.equals(*at, 1e-12 * inf_norm(a)),
+            "SpdProblem: matrix is not symmetric");
+  }
+}
+
+SpdProblem::~SpdProblem() = default;
+
+ProblemStats SpdProblem::stats() const {
+  const std::scoped_lock lock(mutex_);
+  ProblemStats s = stats_;
+  s.scratch_allocations = scratch_->engine.allocations();
+  return s;
+}
+
+SolveOutcome SpdProblem::solve(const std::vector<double>& b,
+                               std::vector<double>& x,
+                               const SolveControls& controls) {
+  const std::scoped_lock lock(mutex_);
+  require(static_cast<index_t>(b.size()) == a_.rows() && x.size() == b.size(),
+          "SpdProblem::solve: shape mismatch");
+  SpdMethod method = controls.method;
+  if (method == SpdMethod::kAuto) {
+    // The solve_spd guidance: basic asynchronous iterations in the
+    // low-accuracy regime, AsyRGS-preconditioned flexible CG when high
+    // accuracy is sought.
+    method = (controls.rel_tol <= 0.0 || controls.rel_tol >= 1e-4)
+                 ? SpdMethod::kAsyncRgs
+                 : SpdMethod::kFcgAsyRgs;
+  }
+  SolveOutcome out = method == SpdMethod::kAsyncRgs
+                         ? solve_async_single(b, x, controls)
+                         : solve_krylov(b, x, controls, method);
+  out.method_used = method;
+  ++stats_.solves;
+  return out;
+}
+
+SolveOutcome SpdProblem::solve_async_single(const std::vector<double>& b,
+                                            std::vector<double>& x,
+                                            const SolveControls& controls) {
+  const AsyncRgsOptions options = to_async_rgs_options(controls);
+  validate_async_controls(options, "SpdProblem::solve");
+  const index_t n = a_.rows();
+  const double beta = options.step_size;
+  const int workers = clamp_workers(options.workers, pool_);
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  report.scan_used = options.scan;
+
+  detail::pack_rhs_diag(b, inv_diag_, scratch_->rhs_diag);
+  detail::SingleRhsResidual residual(a_, b, x.data(), workers,
+                                     scratch_->engine.reduce(workers));
+
+  WallTimer timer;
+  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
+    const detail::SingleRhsUpdate<kAtomic, kScan> update{
+        a_.row_ptr().data(),       a_.col_idx().data(), a_.values().data(),
+        scratch_->rhs_diag.data(), x.data(),            beta};
+    detail::run_engine(pool_, options, n, workers, update, residual, report,
+                       &scratch_->engine);
+  });
+  report.seconds = timer.seconds();
+
+  std::string description = std::string("AsyRGS, ") +
+                            std::to_string(workers) + " threads, " +
+                            sync_name(options.sync);
+  return outcome_from_report(std::move(report), options,
+                             std::move(description));
+}
+
+SolveOutcome SpdProblem::solve_krylov(const std::vector<double>& b,
+                                      std::vector<double>& x,
+                                      const SolveControls& controls,
+                                      SpdMethod method) {
+  const int workers = clamp_workers(controls.workers, pool_);
+  const int max_iterations =
+      controls.max_iterations > 0 ? controls.max_iterations : 10000;
+  const double rel_tol = controls.rel_tol > 0.0 ? controls.rel_tol : 1e-8;
+
+  SolveOutcome out;
+  out.workers = workers;
+  out.scan_requested = controls.scan;
+  WallTimer timer;
+  if (method == SpdMethod::kFcgAsyRgs) {
+    // The preconditioner borrows this prepared handle, so every outer
+    // iteration's inner sweeps reuse the cached reciprocals and scratch.
+    AsyRgsPreconditioner precond(*this, controls.inner_sweeps, workers,
+                                 /*step_size=*/1.0, controls.seed,
+                                 controls.atomic_writes, controls.scan);
+    FcgOptions fo;
+    fo.base.max_iterations = max_iterations;
+    fo.base.rel_tol = rel_tol;
+    fo.base.track_history = controls.track_history;
+    const FcgReport rep = fcg_solve(pool_, a_, b, x, precond, fo, workers);
+    out.status = rep.base.converged ? SolveStatus::kConverged
+                                    : SolveStatus::kToleranceNotReached;
+    out.iterations = rep.base.iterations;
+    out.relative_residual = rep.base.final_relative_residual;
+    out.residual_history = rep.base.residual_history;
+    out.scan_executed = controls.scan;  // the preconditioner's inner scans
+    out.description = "flexible CG + " + precond.name();
+  } else {
+    SolveOptions so;
+    so.max_iterations = max_iterations;
+    so.rel_tol = rel_tol;
+    so.track_history = controls.track_history;
+    const SolveReport rep =
+        cg_solve(pool_, a_, b, x, so, nullptr, controls.workers);
+    out.status = rep.converged ? SolveStatus::kConverged
+                               : SolveStatus::kToleranceNotReached;
+    out.iterations = rep.iterations;
+    out.relative_residual = rep.final_relative_residual;
+    out.residual_history = rep.residual_history;
+    out.scan_executed = ScanMode::kPinned;  // CG has no row-scan mode
+    out.description = "conjugate gradients";
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+SolveOutcome SpdProblem::solve(const MultiVector& b, MultiVector& x,
+                               const SolveControls& controls) {
+  const std::scoped_lock lock(mutex_);
+  require(b.rows() == a_.rows() && x.rows() == a_.rows() &&
+              b.cols() == x.cols(),
+          "SpdProblem::solve(block): shape mismatch");
+  require(controls.method == SpdMethod::kAuto ||
+              controls.method == SpdMethod::kAsyncRgs,
+          "SpdProblem::solve(block): only the asynchronous method supports "
+          "block right-hand sides");
+  const AsyncRgsOptions options = to_async_rgs_options(controls);
+  validate_async_controls(options, "SpdProblem::solve(block)");
+  const index_t n = a_.rows();
+  const index_t k = b.cols();
+  const double beta = options.step_size;
+  const int workers = clamp_workers(options.workers, pool_);
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  // The block kernel is column-parallel already and always runs the pinned
+  // scan; surface the downgrade instead of silently accepting the request.
+  report.scan_used = ScanMode::kPinned;
+
+  // Per-worker gamma scratch in one aligned slab, strided to whole cache
+  // lines with a guard line between workers: adjacent heap allocations here
+  // would false-share and destroy block-solve scaling.
+  const std::size_t doubles_per_line = kCacheLineBytes / sizeof(double);
+  const std::size_t stride =
+      ((static_cast<std::size_t>(k) + doubles_per_line - 1) /
+       doubles_per_line) *
+          doubles_per_line +
+      doubles_per_line;
+  double* const gamma = scratch_->engine.slab(workers, stride);
+
+  detail::BlockResidual residual(a_, b, x, workers,
+                                 scratch_->engine.reduce(workers));
+
+  WallTimer timer;
+  if (options.atomic_writes) {
+    const detail::BlockRhsUpdate<true> update{&a_, &b,    &x, inv_diag_.data(),
+                                              beta, gamma, stride};
+    detail::run_engine(pool_, options, n, workers, update, residual, report,
+                       &scratch_->engine);
+  } else {
+    const detail::BlockRhsUpdate<false> update{&a_, &b,    &x,
+                                               inv_diag_.data(), beta,
+                                               gamma, stride};
+    detail::run_engine(pool_, options, n, workers, update, residual, report,
+                       &scratch_->engine);
+  }
+  report.seconds = timer.seconds();
+
+  std::string description = std::string("AsyRGS block, ") +
+                            std::to_string(workers) + " threads, " +
+                            std::to_string(k) + " rhs, " +
+                            sync_name(options.sync);
+  if (options.scan == ScanMode::kReassociated)
+    description += "; reassociated scan requested but the block kernel runs "
+                   "the pinned column-parallel scan";
+  SolveOutcome out = outcome_from_report(std::move(report), options,
+                                         std::move(description));
+  out.method_used = SpdMethod::kAsyncRgs;
+  ++stats_.solves;
+  return out;
+}
+
+// --- LsqProblem --------------------------------------------------------------
+
+LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a)
+    : pool_(pool),
+      a_(a),
+      scratch_(std::make_unique<detail::ProblemScratch>()) {
+  bool built_now = false;
+  at_holder_ = a.transpose_shared(&built_now);
+  at_ = at_holder_.get();
+  if (built_now) ++stats_.transpose_builds;
+  col_sq_ = detail::column_sq_norms(*at_);
+  for (double s : col_sq_)
+    require(s > 0.0, "LsqProblem: zero column (A must have full rank)");
+  ++stats_.validation_passes;
+}
+
+LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
+                       const CsrMatrix& at)
+    : pool_(pool),
+      a_(a),
+      at_(&at),
+      scratch_(std::make_unique<detail::ProblemScratch>()) {
+  require(at.rows() == a.cols() && at.cols() == a.rows(),
+          "LsqProblem: `at` must be the transpose of `a`");
+  col_sq_ = detail::column_sq_norms(at);
+  for (double s : col_sq_)
+    require(s > 0.0, "LsqProblem: zero column (A must have full rank)");
+  ++stats_.validation_passes;
+}
+
+LsqProblem::~LsqProblem() = default;
+
+ProblemStats LsqProblem::stats() const {
+  const std::scoped_lock lock(mutex_);
+  ProblemStats s = stats_;
+  s.scratch_allocations = scratch_->engine.allocations();
+  return s;
+}
+
+SolveOutcome LsqProblem::solve(const std::vector<double>& b,
+                               std::vector<double>& x,
+                               const SolveControls& controls) {
+  const std::scoped_lock lock(mutex_);
+  require(static_cast<index_t>(b.size()) == a_.rows() &&
+              static_cast<index_t>(x.size()) == a_.cols(),
+          "LsqProblem::solve: shape mismatch");
+  const AsyncRgsOptions options = to_async_rgs_options(controls);
+  validate_async_controls(options, "LsqProblem::solve");
+  const index_t n = a_.cols();
+  const double beta = options.step_size;
+  const int workers = clamp_workers(options.workers, pool_);
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  report.scan_used = options.scan;
+
+  const bool check = options.track_history || options.rel_tol > 0.0;
+  double* const r =
+      check ? scratch_->engine.dense(static_cast<std::size_t>(a_.rows()))
+            : nullptr;
+  detail::LsqResidual residual(a_, *at_, b, x.data(), workers,
+                               scratch_->engine.reduce(workers), r, check);
+
+  WallTimer timer;
+  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
+    const detail::LsqUpdate<kAtomic, kScan> update{
+        &a_, at_, b.data(), col_sq_.data(), x.data(), beta};
+    detail::run_engine(pool_, options, n, workers, update, residual, report,
+                       &scratch_->engine);
+  });
+  report.seconds = timer.seconds();
+
+  std::string description = std::string("AsyRCD least squares, ") +
+                            std::to_string(workers) + " threads, " +
+                            sync_name(options.sync);
+  SolveOutcome out = outcome_from_report(std::move(report), options,
+                                         std::move(description));
+  ++stats_.solves;
+  return out;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,254 @@
+// Prepared-solver handles: pay matrix analysis once, solve many times.
+//
+// The paper's methodology (and its motivating big-data workload, Section 9)
+// fixes the matrix and varies only the right-hand side, worker count, and
+// synchronization regime.  A server answering many solves against one
+// operator should therefore pay per-matrix costs — symmetry/diagonal
+// validation, transpose materialization, diagonal reciprocals, column-norm
+// denominators, per-worker scratch — exactly once.  This header provides
+// that split:
+//
+//   SpdProblem / LsqProblem   per-problem state: matrix + attached pool +
+//                             cached analysis + reusable solver scratch
+//   SolveControls             per-call knobs: method, tolerance, seed,
+//                             workers, sync/scope/scan, step size
+//   SolveOutcome              unified structured result (SolveStatus enum
+//                             instead of per-solver bool/string shapes)
+//
+// The legacy free functions (async_rgs_solve, async_lsq_solve, solve_spd,
+// ...) remain available and are thin wrappers constructing a temporary
+// handle — identical arithmetic, so equal-seed pinned-scan runs through
+// either interface are bit-identical.
+//
+// Thread-safety: a handle's prepared state is immutable after construction
+// and its mutable scratch is guarded by an internal (recursive) mutex —
+// concurrent solve() calls on one handle from different threads are safe and
+// are serialized, running one after another (the attached ThreadPool hosts
+// one team at a time anyway).  For genuinely parallel solves use one handle
+// per pool.  The bound CsrMatrix and ThreadPool must outlive the handle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "asyrgs/core/async_rgs.hpp"
+#include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/sparse/csr.hpp"
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+/// Solution strategy for SPD problems (kAuto picks by accuracy target: plain
+/// AsyRGS in the low-accuracy regime where basic iterations shine, AsyRGS as
+/// a flexible-CG preconditioner when high accuracy is sought — the paper's
+/// Section 9 guidance).
+enum class SpdMethod {
+  kAuto,      ///< pick by accuracy target (see SpdProblem::solve docs)
+  kAsyncRgs,  ///< asynchronous randomized Gauss-Seidel
+  kFcgAsyRgs, ///< flexible CG preconditioned by AsyRGS
+  kCg,        ///< plain conjugate gradients (synchronous baseline)
+};
+
+/// How a solve ended — the structured replacement for the per-solver
+/// `bool converged` / description-string conventions.
+enum class SolveStatus {
+  /// The requested relative-residual tolerance was reached.
+  kConverged,
+  /// A tolerance was requested (rel_tol > 0 under a synchronizing mode, or
+  /// a Krylov method) but the iteration budget ran out first.
+  kToleranceNotReached,
+  /// The fixed iteration budget ran to completion with no tolerance in
+  /// play (free-running asynchronous runs, or rel_tol == 0).
+  kBudgetCompleted,
+};
+
+/// Human-readable status name ("converged", "tolerance-not-reached",
+/// "budget-completed").
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+/// Per-call knobs for a prepared handle, deliberately separated from the
+/// per-problem state (matrix, pool, validation policy) bound at handle
+/// construction.  Field-for-field compatible with AsyncRgsOptions for the
+/// asynchronous methods — see to_controls / to_async_rgs_options.
+struct SolveControls {
+  /// SpdProblem only: solution strategy.  LsqProblem ignores it (the method
+  /// is always asynchronous randomized coordinate descent).
+  SpdMethod method = SpdMethod::kAuto;
+  /// Sweep budget for the asynchronous/randomized methods (one sweep = n
+  /// coordinate updates across the team).
+  int sweeps = 10;
+  /// Outer-iteration cap for the Krylov methods (kCg / kFcgAsyRgs);
+  /// 0 = auto (10000).
+  int max_iterations = 0;
+  double step_size = 1.0;    ///< beta; Theorems 3-5 want beta < 1 for bounds
+  std::uint64_t seed = 1;    ///< keys the Philox direction stream
+  int workers = 0;           ///< team size; 0 = pool capacity
+  bool atomic_writes = true; ///< false = racy "non atomic" variant
+  SyncMode sync = SyncMode::kFreeRunning;
+  RandomizationScope scope = RandomizationScope::kShared;
+  ScanMode scan = ScanMode::kPinned;
+  double sync_interval_seconds = 0.05;  ///< kTimedBarrier rendezvous cadence
+  bool track_history = false;
+  /// Target on the method's convergence metric (relative residual; normal
+  /// equations residual for least squares).  0 disables tolerance stopping.
+  double rel_tol = 0.0;
+  /// kFcgAsyRgs only: AsyRGS sweeps per preconditioner application.
+  int inner_sweeps = 2;
+};
+
+/// Unified result of a handle solve.
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::kBudgetCompleted;
+  /// Resolved strategy (SpdProblem; LsqProblem leaves kAuto — the method is
+  /// named in `description`).
+  SpdMethod method_used = SpdMethod::kAuto;
+  int iterations = 0;        ///< sweeps or outer iterations, per method
+  long long updates = 0;     ///< coordinate updates (asynchronous methods)
+  int workers = 0;           ///< actual team size used
+  double relative_residual = 0.0;  ///< when a tolerance/history was active
+  double seconds = 0.0;      ///< iteration-loop wall time
+  ScanMode scan_requested = ScanMode::kPinned;
+  /// Association the kernels actually ran; differs from scan_requested only
+  /// for the block solver, whose column-parallel inner loops always run the
+  /// pinned scan (see docs/TUNING.md).
+  ScanMode scan_executed = ScanMode::kPinned;
+  std::vector<double> residual_history;  ///< per synchronization, if tracked
+  std::string description;   ///< human-readable method/mode summary
+
+  [[nodiscard]] bool converged() const noexcept {
+    return status == SolveStatus::kConverged;
+  }
+};
+
+/// Lossless translation between the legacy per-call option struct and
+/// SolveControls (the free-function wrappers use these; handy for migration).
+[[nodiscard]] SolveControls to_controls(const AsyncRgsOptions& options);
+[[nodiscard]] AsyncRgsOptions to_async_rgs_options(
+    const SolveControls& controls);
+
+namespace detail {
+/// Translates a handle outcome back to the legacy AsyncRgsReport shape; used
+/// by the free-function wrappers so both report forms stay in lockstep.
+[[nodiscard]] AsyncRgsReport report_from_outcome(SolveOutcome&& out);
+
+/// Reusable per-handle solver scratch (rhs packing, engine buffers); defined
+/// in problem.cpp so the unstable engine/kernel internals never enter this
+/// public header.
+struct ProblemScratch;
+}  // namespace detail
+
+/// Counters of the preparation work a handle has performed — lets tests (and
+/// monitoring) assert that analysis is paid once per problem, not per solve.
+struct ProblemStats {
+  int validation_passes = 0;  ///< symmetry/diagonal/rank checks performed
+  int transpose_builds = 0;   ///< explicit A^T constructions triggered
+  /// Completed solve() calls, counting inner preconditioner applications:
+  /// one kFcgAsyRgs solve contributes 1 + (outer iterations), because each
+  /// preconditioner application re-enters solve() on this handle.  The
+  /// counter evidences amortization, not requests served.
+  long long solves = 0;
+  /// Scratch growth events (direction buffers, team-reduce, slabs); a
+  /// repeat solve with unchanged shapes/team must not increase this.
+  long long scratch_allocations = 0;
+};
+
+/// Prepared handle for repeated solves of SPD A x = b against one matrix.
+///
+/// Construction performs all per-matrix analysis: the strictly-positive-
+/// diagonal check and reciprocal precomputation always; the symmetry
+/// validation (one cached transpose + entrywise compare) when `check_input`
+/// is set.  solve() then pays only per-call work.
+class SpdProblem {
+ public:
+  /// Binds `a` (kept by reference; must outlive the handle) and `pool`.
+  /// `check_input` validates symmetry up front — recommended for
+  /// user-supplied matrices, skippable for generated/trusted ones.
+  SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input = true);
+  ~SpdProblem();  // out-of-line: ProblemScratch is incomplete here
+
+  SpdProblem(const SpdProblem&) = delete;
+  SpdProblem& operator=(const SpdProblem&) = delete;
+
+  /// Solves A x = b starting from `x` (in place) with per-call `controls`.
+  /// With SpdMethod::kAuto the method is AsyRGS when rel_tol == 0 or
+  /// rel_tol >= 1e-4 (the low-accuracy regime) and FCG+AsyRGS otherwise.
+  SolveOutcome solve(const std::vector<double>& b, std::vector<double>& x,
+                     const SolveControls& controls = {});
+
+  /// Block variant: every coordinate update applies to all columns of X
+  /// (the paper's 51-right-hand-side experiment).  Asynchronous only
+  /// (method must be kAuto or kAsyncRgs); the block kernel always runs the
+  /// pinned scan — scan_executed reports it.
+  SolveOutcome solve(const MultiVector& b, MultiVector& x,
+                     const SolveControls& controls = {});
+
+  [[nodiscard]] const CsrMatrix& matrix() const noexcept { return a_; }
+  [[nodiscard]] ThreadPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] index_t dimension() const noexcept { return a_.rows(); }
+  [[nodiscard]] ProblemStats stats() const;
+
+ private:
+  friend class AsyRgsPreconditioner;
+
+  SolveOutcome solve_async_single(const std::vector<double>& b,
+                                  std::vector<double>& x,
+                                  const SolveControls& controls);
+  SolveOutcome solve_krylov(const std::vector<double>& b,
+                            std::vector<double>& x,
+                            const SolveControls& controls, SpdMethod method);
+
+  ThreadPool& pool_;
+  const CsrMatrix& a_;
+  std::vector<double> inv_diag_;
+  mutable std::recursive_mutex mutex_;  // recursive: FCG solves re-enter via
+                                        // the preconditioner's inner solves
+  std::unique_ptr<detail::ProblemScratch> scratch_;
+  ProblemStats stats_;
+};
+
+/// Prepared handle for repeated least-squares solves min ||A x - b|| against
+/// one matrix (asynchronous randomized coordinate descent, Section 8).
+///
+/// Construction materializes (or borrows) A^T, precomputes the column
+/// squared-norm denominators, and validates full column rank — all costs the
+/// one-shot API used to pay per call.
+class LsqProblem {
+ public:
+  /// Binds `a` and builds A^T through the matrix's shared transpose cache
+  /// (so several handles — or the convenience free function — against one
+  /// matrix construct the transpose a single time).
+  LsqProblem(ThreadPool& pool, const CsrMatrix& a);
+
+  /// Binds a caller-materialized transpose (not copied; `a` and `at` must
+  /// outlive the handle).  Validates that shapes are transposed.
+  LsqProblem(ThreadPool& pool, const CsrMatrix& a, const CsrMatrix& at);
+  ~LsqProblem();  // out-of-line: ProblemScratch is incomplete here
+
+  LsqProblem(const LsqProblem&) = delete;
+  LsqProblem& operator=(const LsqProblem&) = delete;
+
+  /// Solves min ||A x - b|| from `x` (in place).  `controls.method` is
+  /// ignored; coordinates are the columns of A (RandomizationScope
+  /// partitions columns).  Convergence metric: ||A^T(b - Ax)|| / ||A^T b||.
+  SolveOutcome solve(const std::vector<double>& b, std::vector<double>& x,
+                     const SolveControls& controls = {});
+
+  [[nodiscard]] const CsrMatrix& matrix() const noexcept { return a_; }
+  [[nodiscard]] const CsrMatrix& transpose() const noexcept { return *at_; }
+  [[nodiscard]] ProblemStats stats() const;
+
+ private:
+  ThreadPool& pool_;
+  const CsrMatrix& a_;
+  std::shared_ptr<const CsrMatrix> at_holder_;  // cached-transpose mode
+  const CsrMatrix* at_;
+  std::vector<double> col_sq_;  // ||A_{:,j}||^2 update denominators
+  mutable std::recursive_mutex mutex_;
+  std::unique_ptr<detail::ProblemScratch> scratch_;
+  ProblemStats stats_;
+};
+
+}  // namespace asyrgs

@@ -1,11 +1,6 @@
 #include "asyrgs/solve.hpp"
 
-#include "asyrgs/core/async_rgs.hpp"
-#include "asyrgs/iter/cg.hpp"
-#include "asyrgs/iter/fcg.hpp"
-#include "asyrgs/iter/precond.hpp"
-#include "asyrgs/linalg/norms.hpp"
-#include "asyrgs/sparse/properties.hpp"
+#include "asyrgs/problem.hpp"
 #include "asyrgs/support/timer.hpp"
 
 namespace asyrgs {
@@ -31,82 +26,43 @@ const char* method_name(SpdMethod m) {
 SpdSolveSummary solve_spd(ThreadPool& pool, const CsrMatrix& a,
                           const std::vector<double>& b, std::vector<double>& x,
                           const SpdSolveOptions& options) {
-  require(a.square(), "solve_spd: matrix must be square");
-  require(static_cast<index_t>(b.size()) == a.rows() && x.size() == b.size(),
-          "solve_spd: shape mismatch");
   require(options.rel_tol > 0.0, "solve_spd: rel_tol must be positive");
-  if (options.check_input) {
-    require(is_symmetric(a, 1e-12 * inf_norm(a)),
-            "solve_spd: matrix is not symmetric");
-    for (double d : a.diagonal())
-      require(d > 0.0, "solve_spd: diagonal must be strictly positive "
-                       "(matrix cannot be SPD)");
-  }
 
-  SpdMethod method = options.method;
-  if (method == SpdMethod::kAuto) {
-    method = options.rel_tol >= 1e-4 ? SpdMethod::kAsyncRgs
-                                     : SpdMethod::kFcgAsyRgs;
-  }
-
-  SpdSolveSummary summary;
-  summary.method_used = method;
+  // One-shot use of the prepared-handle machinery: construction performs the
+  // per-matrix analysis (diagonal reciprocals, optional symmetry check via
+  // the matrix's cached transpose), solve() the per-call work.  The timer
+  // starts after preparation, preserving the legacy convention that
+  // summary.seconds excludes input validation.
+  SpdProblem problem(pool, a, options.check_input);
   WallTimer timer;
 
-  switch (method) {
-    case SpdMethod::kAsyncRgs: {
-      AsyncRgsOptions opt;
-      opt.sweeps = options.max_iterations > 0 ? options.max_iterations
-                                              : 100000;
-      opt.workers = options.threads;
-      opt.seed = options.seed;
-      opt.sync = SyncMode::kBarrierPerSweep;
-      opt.scan = options.scan;
-      opt.rel_tol = options.rel_tol;
-      const AsyncRgsReport rep = async_rgs_solve(pool, a, b, x, opt);
-      summary.converged = rep.converged;
-      summary.iterations = rep.sweeps_done;
-      summary.relative_residual = rep.final_relative_residual;
-      summary.description = "AsyRGS, " + std::to_string(rep.workers) +
-                            " threads, barrier per sweep";
-      break;
-    }
-    case SpdMethod::kFcgAsyRgs: {
-      const int workers =
-          options.threads > 0 ? options.threads : pool.size();
-      AsyRgsPreconditioner precond(pool, a, options.inner_sweeps, workers,
-                                   /*step_size=*/1.0, options.seed,
-                                   /*atomic_writes=*/true, options.scan);
-      FcgOptions fo;
-      fo.base.max_iterations =
-          options.max_iterations > 0 ? options.max_iterations : 10000;
-      fo.base.rel_tol = options.rel_tol;
-      const FcgReport rep = fcg_solve(pool, a, b, x, precond, fo, workers);
-      summary.converged = rep.base.converged;
-      summary.iterations = rep.base.iterations;
-      summary.relative_residual = rep.base.final_relative_residual;
-      summary.description = "flexible CG + " + precond.name();
-      break;
-    }
-    case SpdMethod::kCg: {
-      SolveOptions so;
-      so.max_iterations =
-          options.max_iterations > 0 ? options.max_iterations : 10000;
-      so.rel_tol = options.rel_tol;
-      const SolveReport rep =
-          cg_solve(pool, a, b, x, so, nullptr, options.threads);
-      summary.converged = rep.converged;
-      summary.iterations = rep.iterations;
-      summary.relative_residual = rep.final_relative_residual;
-      summary.description = "conjugate gradients";
-      break;
-    }
-    case SpdMethod::kAuto:
-      break;  // unreachable: resolved above
-  }
+  SolveControls controls;
+  // kAuto passes through: SpdProblem::solve resolves it (rel_tol > 0 is
+  // guaranteed above, so its rule reduces to the documented >= 1e-4 split).
+  controls.method = options.method;
+  controls.rel_tol = options.rel_tol;
+  controls.seed = options.seed;
+  controls.workers = options.threads;
+  controls.scan = options.scan;
+  controls.inner_sweeps = options.inner_sweeps;
+  // AsyRGS runs the paper's occasional-synchronization scheme so the
+  // tolerance is actually checked; Krylov methods take the outer cap.
+  controls.sweeps = options.max_iterations > 0 ? options.max_iterations
+                                               : 100000;
+  controls.max_iterations = options.max_iterations;
+  controls.sync = SyncMode::kBarrierPerSweep;
 
+  SolveOutcome out = problem.solve(b, x, controls);
+
+  SpdSolveSummary summary;
+  summary.method_used = out.method_used;
+  summary.converged = out.converged();
+  summary.iterations = out.iterations;
+  summary.relative_residual = out.relative_residual;
+  summary.status = out.status;
+  summary.description =
+      out.description + " [" + method_name(out.method_used) + "]";
   summary.seconds = timer.seconds();
-  summary.description += std::string(" [") + method_name(method) + "]";
   return summary;
 }
 

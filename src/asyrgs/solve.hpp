@@ -10,24 +10,26 @@
 //    algorithm as a preconditioner in a flexible Krylov method";
 //  * non-unit diagonals are handled transparently (Section 3 rescaling is
 //    built into the coordinate update).
+//
+// solve_spd is a thin wrapper over a temporary prepared handle; when the
+// same matrix is solved repeatedly (many right-hand sides against one
+// operator), construct an asyrgs::SpdProblem (asyrgs/problem.hpp) once
+// instead and call its solve() per request — the analysis, validation, and
+// scratch setup this function re-pays per call are then amortized.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "asyrgs/core/async_rgs.hpp"
+#include "asyrgs/problem.hpp"
 #include "asyrgs/sparse/csr.hpp"
 #include "asyrgs/support/thread_pool.hpp"
 
 namespace asyrgs {
 
-/// Solution strategy.
-enum class SpdMethod {
-  kAuto,      ///< pick by accuracy target (see solve_spd docs)
-  kAsyncRgs,  ///< asynchronous randomized Gauss-Seidel, barrier per sweep
-  kFcgAsyRgs, ///< flexible CG preconditioned by AsyRGS
-  kCg,        ///< plain conjugate gradients (synchronous baseline)
-};
+// SpdMethod lives in asyrgs/problem.hpp (shared with the prepared-handle
+// API) and is re-exported here for existing includes of this header.
 
 /// Options for solve_spd.
 struct SpdSolveOptions {
@@ -37,8 +39,12 @@ struct SpdSolveOptions {
   int threads = 0;          ///< 0 = all cores
   int inner_sweeps = 2;     ///< preconditioner sweeps for kFcgAsyRgs
   std::uint64_t seed = 1;
-  /// Verify symmetry (costs one transpose) and positive diagonal before
-  /// solving; recommended for user-supplied matrices.
+  /// Verify symmetry and positive diagonal before solving; recommended for
+  /// user-supplied matrices.  The symmetry check builds A^T through the
+  /// matrix's shared transpose cache, so repeated solves against one matrix
+  /// validate cheaply — at the cost of ~nnz extra memory retained for the
+  /// matrix's lifetime.  Set false for trusted/generated matrices (or when
+  /// that footprint matters).
   bool check_input = true;
   /// Row-scan FP association for the asynchronous inner iterations (both the
   /// kAsyncRgs solver and the AsyRGS preconditioner inside kFcgAsyRgs).
@@ -57,6 +63,10 @@ struct SpdSolveSummary {
   double relative_residual = 0.0;
   double seconds = 0.0;
   std::string description;  ///< human-readable method summary
+  /// Structured outcome (SolveStatus enum and friends) from the underlying
+  /// prepared-handle solve; `status` disambiguates "budget ran out" from
+  /// "tolerance missed" beyond the legacy `converged` bool.
+  SolveStatus status = SolveStatus::kBudgetCompleted;
 };
 
 /// Solves SPD A x = b starting from `x` (in place).  With kAuto the method

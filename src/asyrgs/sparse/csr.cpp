@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define ASYRGS_SCAN_SIMD 1
@@ -9,6 +10,15 @@
 #endif
 
 namespace asyrgs {
+
+/// One-shot cache slot for the transpose.  Heap-allocated and shared between
+/// copies of the matrix (copies have identical values, so sharing is sound).
+/// The per-slot mutex guards `value` so concurrent first builds construct
+/// exactly one transpose and concurrent readers never race the writer.
+struct CsrMatrix::TransposeCache {
+  std::mutex mutex;
+  std::shared_ptr<const CsrMatrix> value;
+};
 
 namespace {
 
@@ -124,7 +134,8 @@ CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> row_ptr,
       cols_(cols),
       row_ptr_(std::move(row_ptr)),
       col_idx_(std::move(col_idx)),
-      values_(std::move(values)) {
+      values_(std::move(values)),
+      transpose_cache_(std::make_shared<TransposeCache>()) {
   require(rows_ > 0 && cols_ > 0, "CsrMatrix: dimensions must be positive");
   require(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
           "CsrMatrix: row_ptr must have rows+1 entries");
@@ -201,6 +212,36 @@ CsrMatrix CsrMatrix::transpose() const {
   }
   return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col),
                    std::move(t_val));
+}
+
+CsrMatrix::CsrMatrix() : transpose_cache_(std::make_shared<TransposeCache>()) {}
+
+namespace {
+/// Re-installation guard for matrices whose slot was stolen by a move;
+/// every constructor installs the slot eagerly, so this path is cold and
+/// exists only to keep moved-from objects safe to query single-threadedly.
+std::mutex g_transpose_slot_mutex;
+}  // namespace
+
+std::shared_ptr<const CsrMatrix> CsrMatrix::transpose_shared(
+    bool* built_now) const {
+  if (!transpose_cache_) {  // moved-from only; see constructor
+    const std::scoped_lock lock(g_transpose_slot_mutex);
+    if (!transpose_cache_) transpose_cache_ = std::make_shared<TransposeCache>();
+  }
+  TransposeCache& cache = *transpose_cache_;
+  const std::scoped_lock lock(cache.mutex);
+  const bool building = cache.value == nullptr;
+  if (building) cache.value = std::make_shared<const CsrMatrix>(transpose());
+  if (built_now != nullptr) *built_now = building;
+  return cache.value;
+}
+
+bool CsrMatrix::transpose_cached() const {
+  const std::shared_ptr<TransposeCache> slot = transpose_cache_;
+  if (!slot) return false;
+  const std::scoped_lock lock(slot->mutex);
+  return slot->value != nullptr;
 }
 
 ColumnCompression drop_empty_columns(const CsrMatrix& a) {

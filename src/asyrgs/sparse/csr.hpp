@@ -5,6 +5,7 @@
 // for cache-friendly row scans and O(log nnz(row)) entry lookup.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -123,7 +124,8 @@ namespace asyrgs {
 /// of concurrent solver teams (the asynchronous solvers rely on this).
 class CsrMatrix {
  public:
-  CsrMatrix() = default;
+  CsrMatrix();  // empty matrix; out-of-line to install the transpose-cache
+                // slot eagerly (see transpose_shared)
 
   /// Takes ownership of pre-built CSR arrays.  Validates monotone row
   /// pointers, in-range sorted column indices, and array sizes; throws
@@ -184,15 +186,43 @@ class CsrMatrix {
   /// to A via CSR rows of A^T).
   [[nodiscard]] CsrMatrix transpose() const;
 
+  /// The transpose, built at most once per matrix and cached (the matrix is
+  /// immutable, so the cached value can never go stale).  Thread-safe:
+  /// concurrent first calls build exactly one instance; later calls are a
+  /// shared_ptr copy.  Copies of the matrix share the cache.  This is the
+  /// amortization path behind the prepared-solver handles and the
+  /// `async_lsq_solve` convenience overload — repeated solves against one
+  /// matrix pay the O(nnz) transpose a single time.  The cached transpose
+  /// stays resident for the matrix's lifetime (~nnz extra memory); callers
+  /// that need A^T exactly once and care about footprint should call
+  /// transpose() instead.  `built_now` (optional) is set to whether THIS
+  /// call constructed the transpose — race-free, unlike checking
+  /// transpose_cached() before and after.
+  [[nodiscard]] std::shared_ptr<const CsrMatrix> transpose_shared(
+      bool* built_now = nullptr) const;
+
+  /// True when transpose_shared() has already built (and cached) the
+  /// transpose.  Thread-safe; exposed so tests can assert single
+  /// construction.
+  [[nodiscard]] bool transpose_cached() const;
+
   /// Deep equality of dimensions, structure, and values.
   [[nodiscard]] bool equals(const CsrMatrix& other, double tol = 0.0) const;
 
  private:
+  struct TransposeCache;  // defined in csr.cpp (mutex + cached value)
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   std::vector<nnz_t> row_ptr_;   // size rows_ + 1
   std::vector<index_t> col_idx_; // size nnz
   std::vector<double> values_;   // size nnz
+  /// Installed eagerly by every constructor (so the pointer itself is
+  /// immutable after construction — copies share the slot, and concurrent
+  /// copy/transpose_shared cannot race on it; only moved-from matrices are
+  /// left with a null slot, re-installed lazily).  Mutable because caching
+  /// the transpose is logically const.
+  mutable std::shared_ptr<TransposeCache> transpose_cache_;
 };
 
 /// Result of removing structurally empty columns.

@@ -27,14 +27,14 @@ CsrMatrix random_tall_matrix(index_t m, index_t n, std::uint64_t seed) {
   return b.to_csr();
 }
 
-struct LsqProblem {
+struct LsqFixture {
   CsrMatrix a;
   std::vector<double> x_star;
   std::vector<double> b;  // consistent: b = A x_star
 };
 
-LsqProblem consistent_problem(index_t m, index_t n, std::uint64_t seed) {
-  LsqProblem p;
+LsqFixture consistent_problem(index_t m, index_t n, std::uint64_t seed) {
+  LsqFixture p;
   p.a = random_tall_matrix(m, n, seed);
   p.x_star = random_vector(n, seed + 1);
   p.b = rhs_from_solution(p.a, p.x_star);
@@ -42,7 +42,7 @@ LsqProblem consistent_problem(index_t m, index_t n, std::uint64_t seed) {
 }
 
 TEST(RcdLsq, SolvesConsistentSystem) {
-  LsqProblem p = consistent_problem(600, 200, 3);
+  LsqFixture p = consistent_problem(600, 200, 3);
   std::vector<double> x(200, 0.0);
   RgsOptions opt;
   opt.sweeps = 4000;
@@ -56,7 +56,7 @@ TEST(RcdLsq, SolvesConsistentSystem) {
 TEST(RcdLsq, FindsLeastSquaresSolutionOfInconsistentSystem) {
   // Add noise orthogonal to nothing in particular; the solver must still
   // drive the normal-equations residual A^T(b - Ax) to zero.
-  LsqProblem p = consistent_problem(500, 150, 7);
+  LsqFixture p = consistent_problem(500, 150, 7);
   Xoshiro256 rng(11);
   for (double& v : p.b) v += 0.05 * normal(rng);
 
@@ -79,7 +79,7 @@ TEST(AsyncLsq, OneWorkerTracksSequentialClosely) {
   // The async variant recomputes residual entries instead of maintaining r,
   // so the arithmetic differs in rounding only; trajectories stay close.
   ThreadPool pool(2);
-  LsqProblem p = consistent_problem(300, 100, 13);
+  LsqFixture p = consistent_problem(300, 100, 13);
 
   std::vector<double> x_seq(100, 0.0);
   RgsOptions sopt;
@@ -105,7 +105,7 @@ class AsyncLsqThreadsTest : public ::testing::TestWithParam<int> {};
 TEST_P(AsyncLsqThreadsTest, ConvergesMultithreaded) {
   const int workers = GetParam();
   ThreadPool pool(workers);
-  LsqProblem p = consistent_problem(800, 250, 19);
+  LsqFixture p = consistent_problem(800, 250, 19);
 
   std::vector<double> x(250, 0.0);
   AsyncRgsOptions opt;
@@ -130,7 +130,7 @@ TEST(AsyncLsq, OwnerComputesScopeConverges) {
   // be left frozen by a worker draining a free-running budget early.
   for (int workers : {2, 4}) {
     ThreadPool pool(workers);
-    LsqProblem p = consistent_problem(700, 220, 37);
+    LsqFixture p = consistent_problem(700, 220, 37);
     std::vector<double> x(220, 0.0);
     AsyncRgsOptions opt;
     opt.sweeps = 6000;
@@ -154,7 +154,7 @@ TEST(AsyncLsq, TimedBarrierSyncsAndStopsAtTolerance) {
   // residual history entry per rendezvous, and stop early rather than
   // consuming the (deliberately oversized) sweep budget.
   ThreadPool pool(2);
-  LsqProblem p = consistent_problem(500, 160, 43);
+  LsqFixture p = consistent_problem(500, 160, 43);
   std::vector<double> x(160, 0.0);
   AsyncRgsOptions opt;
   opt.sweeps = 200000;
@@ -175,7 +175,7 @@ TEST(AsyncLsq, TimedBarrierSyncsAndStopsAtTolerance) {
 
 TEST(AsyncLsq, ExplicitTransposeOverloadAgrees) {
   ThreadPool pool(2);
-  LsqProblem p = consistent_problem(200, 80, 29);
+  LsqFixture p = consistent_problem(200, 80, 29);
   const CsrMatrix at = p.a.transpose();
 
   std::vector<double> x1(80, 0.0), x2(80, 0.0);
@@ -190,7 +190,7 @@ TEST(AsyncLsq, ExplicitTransposeOverloadAgrees) {
 
 TEST(AsyncLsq, RejectsMismatchedTranspose) {
   ThreadPool pool(2);
-  LsqProblem p = consistent_problem(100, 40, 37);
+  LsqFixture p = consistent_problem(100, 40, 37);
   const CsrMatrix wrong = random_tall_matrix(40, 90, 38);
   std::vector<double> x(40, 0.0);
   EXPECT_THROW(async_lsq_solve(pool, p.a, wrong, p.b, x, AsyncRgsOptions{}),
@@ -211,7 +211,7 @@ TEST(AsyncLsq, RejectsZeroColumn) {
 // --- baselines -----------------------------------------------------------------
 
 TEST(Kaczmarz, SolvesConsistentSystem) {
-  LsqProblem p = consistent_problem(500, 150, 41);
+  LsqFixture p = consistent_problem(500, 150, 41);
   std::vector<double> x(150, 0.0);
   SolveOptions so;
   so.max_iterations = 400;
@@ -223,7 +223,7 @@ TEST(Kaczmarz, SolvesConsistentSystem) {
 
 TEST(Cgnr, SolvesLeastSquares) {
   ThreadPool pool(4);
-  LsqProblem p = consistent_problem(400, 120, 47);
+  LsqFixture p = consistent_problem(400, 120, 47);
   Xoshiro256 rng(49);
   for (double& v : p.b) v += 0.02 * normal(rng);
 
@@ -244,7 +244,7 @@ TEST(Cgnr, SolvesLeastSquares) {
 
 TEST(Cgnr, AgreesWithRcdOnConsistentProblem) {
   ThreadPool pool(4);
-  LsqProblem p = consistent_problem(300, 90, 53);
+  LsqFixture p = consistent_problem(300, 90, 53);
 
   std::vector<double> x_cgnr(90, 0.0);
   SolveOptions so;

@@ -2,13 +2,15 @@
 //
 //   asyrgs_solve --matrix A.mtx [--rhs b.mtx] [--out x.mtx]
 //                [--method auto|asyrgs|fcg|cg] [--tol 1e-8] [--threads 0]
-//                [--scan pinned|reassociated]
+//                [--scan pinned|reassociated] [--repeat 1]
 //
-// Reads an SPD matrix (coordinate format, general or symmetric), solves
+// Reads an SPD matrix (coordinate format, general or symmetric), prepares an
+// asyrgs::SpdProblem handle (validation + analysis paid once), solves
 // A x = b with the selected method (b defaults to A * ones so the run is
 // self-checking), writes the solution in array format, and prints a solve
-// summary.  This is the end-to-end path a downstream user takes without
-// writing any C++.
+// summary.  --repeat N re-runs the solve N times on the prepared handle —
+// the serving pattern for many requests against one operator; only the
+// first solve pays preparation.
 #include <fstream>
 #include <iostream>
 
@@ -27,6 +29,9 @@ int main(int argc, char** argv) {
   auto threads = cli.add_int("threads", 0, "worker threads (0 = all)");
   auto max_iters = cli.add_int("max-iterations", 0, "iteration cap (0=auto)");
   auto inner = cli.add_int("inner-sweeps", 2, "FCG preconditioner sweeps");
+  auto repeat = cli.add_int("repeat", 1,
+                            "solves against the prepared handle (>= 1; "
+                            "preparation is paid once)");
   auto scan = cli.add_string(
       "scan", "pinned",
       "row-scan FP association: pinned (bit-reproducible) | reassociated "
@@ -35,6 +40,8 @@ int main(int argc, char** argv) {
   try {
     cli.parse(argc, argv);
     require(!matrix_path.value().empty(), "missing required --matrix");
+    require(*repeat >= 1, "--repeat must be >= 1");
+    require(*tol > 0.0, "--tol must be positive");
 
     const CsrMatrix a = read_matrix_market_file(*matrix_path);
     std::cerr << "matrix: " << a.rows() << " x " << a.cols() << ", "
@@ -51,36 +58,52 @@ int main(int argc, char** argv) {
       std::cerr << "rhs: A * ones (self-checking mode)\n";
     }
 
-    SpdSolveOptions opt;
-    opt.rel_tol = *tol;
-    opt.threads = static_cast<int>(*threads);
-    opt.max_iterations = static_cast<int>(*max_iters);
-    opt.inner_sweeps = static_cast<int>(*inner);
+    SolveControls controls;
+    controls.rel_tol = *tol;
+    controls.workers = static_cast<int>(*threads);
+    controls.sweeps =
+        *max_iters > 0 ? static_cast<int>(*max_iters) : 100000;
+    controls.max_iterations = static_cast<int>(*max_iters);
+    controls.inner_sweeps = static_cast<int>(*inner);
+    controls.sync = SyncMode::kBarrierPerSweep;
     if (*method == "auto")
-      opt.method = SpdMethod::kAuto;
+      controls.method = SpdMethod::kAuto;
     else if (*method == "asyrgs")
-      opt.method = SpdMethod::kAsyncRgs;
+      controls.method = SpdMethod::kAsyncRgs;
     else if (*method == "fcg")
-      opt.method = SpdMethod::kFcgAsyRgs;
+      controls.method = SpdMethod::kFcgAsyRgs;
     else if (*method == "cg")
-      opt.method = SpdMethod::kCg;
+      controls.method = SpdMethod::kCg;
     else
       throw Error("unknown --method (want auto|asyrgs|fcg|cg)");
     if (*scan == "pinned")
-      opt.scan = ScanMode::kPinned;
+      controls.scan = ScanMode::kPinned;
     else if (*scan == "reassociated")
-      opt.scan = ScanMode::kReassociated;
+      controls.scan = ScanMode::kReassociated;
     else
       throw Error("unknown --scan (want pinned|reassociated)");
 
-    std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
-    const SpdSolveSummary summary =
-        solve_spd(ThreadPool::global(), a, b, x, opt);
+    // Prepare once (symmetry + diagonal validation, cached transpose,
+    // scratch), then solve --repeat times against the handle.
+    WallTimer prepare_timer;
+    SpdProblem problem(ThreadPool::global(), a, /*check_input=*/true);
+    std::cerr << "prepared handle in " << prepare_timer.seconds() << " s\n";
 
-    std::cerr << "method: " << summary.description << "\n"
-              << "converged: " << (summary.converged ? "yes" : "NO")
-              << "  iterations: " << summary.iterations
-              << "  time: " << summary.seconds << " s\n"
+    std::vector<double> x;
+    SolveOutcome outcome;
+    for (std::int64_t run = 0; run < *repeat; ++run) {
+      x.assign(static_cast<std::size_t>(a.rows()), 0.0);
+      outcome = problem.solve(b, x, controls);
+      if (*repeat > 1)
+        std::cerr << "solve " << (run + 1) << "/" << *repeat << ": "
+                  << to_string(outcome.status) << " in " << outcome.seconds
+                  << " s\n";
+    }
+
+    std::cerr << "method: " << outcome.description << "\n"
+              << "status: " << to_string(outcome.status)
+              << "  iterations: " << outcome.iterations
+              << "  time: " << outcome.seconds << " s\n"
               << "relative residual: " << relative_residual(a, b, x) << "\n";
 
     if (!out_path.value().empty()) {
@@ -89,7 +112,7 @@ int main(int argc, char** argv) {
       write_vector_market(out, x);
       std::cerr << "solution written to " << *out_path << "\n";
     }
-    return summary.converged ? 0 : 2;
+    return outcome.converged() ? 0 : 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
