@@ -44,9 +44,9 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
 
 echo "bench.sh: wrote BENCH_${label}.json"
 
-# Side-by-side scan-mode and prepare-amortization summaries (schema v4:
-# docs/TUNING.md).  Best effort — the JSON is the artifact; these lines are
-# for the terminal.
+# Side-by-side scan-mode, prepare-amortization, and serving-throughput
+# summaries (schema v5: docs/TUNING.md).  Best effort — the JSON is the
+# artifact; these lines are for the terminal.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "BENCH_${label}.json" <<'PYEOF'
 import json, sys
@@ -62,10 +62,24 @@ if p:
     for fam in ("spd", "lsq"):
         f = p.get(fam)
         if f:
-            print("bench.sh: prepared %s solve (%s, %d sweeps): "
-                  "cold=%.3gs prepared=%.3gs speedup=%.2fx"
-                  % (fam, p["workload"], p["sweeps"],
-                     f["cold_seconds_per_solve"],
-                     f["prepared_seconds_per_solve"], f["speedup"]))
+            line = ("bench.sh: prepared %s solve (%s, %d sweeps): "
+                    "cold=%.3gs prepared=%.3gs speedup=%.2fx"
+                    % (fam, p["workload"], p["sweeps"],
+                       f["cold_seconds_per_solve"],
+                       f["prepared_seconds_per_solve"], f["speedup"]))
+            if "uncached_speedup" in f:
+                line += (" (uncached cold=%.3gs, %.2fx)"
+                         % (f["cold_uncached_seconds_per_solve"],
+                            f["uncached_speedup"]))
+            print(line)
+v = d.get("serving_throughput")
+if v:
+    points = " ".join("%d-shard=%.3g solves/s" % (q["shards"],
+                                                  q["solves_per_second"])
+                      for q in v["points"])
+    print("bench.sh: serving (%s, %d requests, mix %s): %s "
+          "(best multi-shard %d, %.2fx vs single)"
+          % (v["workload"], v["requests"], v["mix"], points,
+             v["best_multi_shards"], v["speedup_vs_single"]))
 PYEOF
 fi

@@ -174,6 +174,12 @@ SpdProblem::SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input)
   }
 }
 
+SpdProblem::SpdProblem(ThreadPool& pool, const SpdProblem& other)
+    : pool_(pool),
+      a_(other.a_),
+      inv_diag_(other.inv_diag_),
+      scratch_(std::make_unique<detail::ProblemScratch>()) {}
+
 SpdProblem::~SpdProblem() = default;
 
 ProblemStats SpdProblem::stats() const {
@@ -385,6 +391,14 @@ LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
     require(s > 0.0, "LsqProblem: zero column (A must have full rank)");
   ++stats_.validation_passes;
 }
+
+LsqProblem::LsqProblem(ThreadPool& pool, const LsqProblem& other)
+    : pool_(pool),
+      a_(other.a_),
+      at_holder_(other.at_holder_),
+      at_(other.at_),
+      col_sq_(other.col_sq_),
+      scratch_(std::make_unique<detail::ProblemScratch>()) {}
 
 LsqProblem::~LsqProblem() = default;
 

@@ -167,6 +167,15 @@ class SpdProblem {
   /// `check_input` validates symmetry up front — recommended for
   /// user-supplied matrices, skippable for generated/trusted ones.
   SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input = true);
+
+  /// Shard clone: binds `pool` to the matrix of `other` and reuses its
+  /// completed analysis (diagonal reciprocals, the symmetry verdict) instead
+  /// of re-validating — the per-shard construction path of SolverService,
+  /// where N pools serve one analyzed matrix.  O(n), no O(nnz) work; the
+  /// clone's ProblemStats start at zero validation passes / transpose
+  /// builds.  `other` must be fully constructed (its prepared state is
+  /// immutable, so cloning is safe concurrently with solves on `other`).
+  SpdProblem(ThreadPool& pool, const SpdProblem& other);
   ~SpdProblem();  // out-of-line: ProblemScratch is incomplete here
 
   SpdProblem(const SpdProblem&) = delete;
@@ -225,6 +234,13 @@ class LsqProblem {
   /// Binds a caller-materialized transpose (not copied; `a` and `at` must
   /// outlive the handle).  Validates that shapes are transposed.
   LsqProblem(ThreadPool& pool, const CsrMatrix& a, const CsrMatrix& at);
+
+  /// Shard clone: binds `pool` to the matrix of `other` and reuses its
+  /// analysis — the shared A^T (same instance, held through the matrix
+  /// cache) and the column squared-norm denominators — skipping the rank
+  /// check.  The clone's ProblemStats start at zero validation passes /
+  /// transpose builds.  Safe concurrently with solves on `other`.
+  LsqProblem(ThreadPool& pool, const LsqProblem& other);
   ~LsqProblem();  // out-of-line: ProblemScratch is incomplete here
 
   LsqProblem(const LsqProblem&) = delete;

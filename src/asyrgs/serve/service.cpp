@@ -1,0 +1,342 @@
+#include "asyrgs/serve/service.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "asyrgs/support/thread_pool.hpp"
+
+namespace asyrgs {
+
+namespace detail {
+
+/// One submitted request: inputs, the slot the shard writes results into,
+/// and a completion latch.  Shared between the client's SolveTicket copies
+/// and the service queue; the dispatcher writes results *before* setting
+/// `completed` under the mutex, so any reader that observed completion also
+/// observes the results (no further synchronization needed on the payload).
+struct TicketState {
+  enum class Kind { kSpd, kSpdBlock, kLsq };
+
+  Kind kind = Kind::kSpd;
+  SolveControls controls;
+  std::vector<double> b;
+  MultiVector b_block;
+
+  std::vector<double> x;
+  MultiVector x_block;
+  SolveOutcome outcome;
+  std::exception_ptr error;
+  int shard = -1;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool completed = false;
+
+  /// Blocks until the dispatcher fulfilled this ticket; rethrows a failed
+  /// solve's exception (idempotently — every later call rethrows too).
+  void wait_done() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return completed; });
+    }
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+/// One serving lane: a private ThreadPool plus prepared handle clones.
+/// `served` and the cached handle-stats snapshots are guarded by the
+/// service mutex (the dispatcher refreshes them after each request while
+/// its handles are idle, so stats() never has to take a handle mutex that a
+/// running solve might hold).
+struct ServiceShard {
+  std::unique_ptr<ThreadPool> pool;
+  std::optional<SpdProblem> spd;
+  std::optional<LsqProblem> lsq;
+  std::thread server;
+  long long served = 0;
+  ProblemStats spd_stats;
+  ProblemStats lsq_stats;
+};
+
+struct ServiceImpl {
+  ServiceImpl(const CsrMatrix& a, const ServiceOptions& options)
+      : a(a), options(options) {}
+
+  const CsrMatrix& a;
+  ServiceOptions options;
+  int workers = 0;
+
+  // ServiceShard is immovable (prepared handles pin their pool by
+  // reference), so the deque's stable addresses matter.
+  std::deque<ServiceShard> shards;
+
+  mutable std::mutex mutex;
+  std::condition_variable work_cv;   // dispatchers: queue non-empty or stop
+  std::condition_variable drain_cv;  // drain()/destructor: all work done
+  std::deque<std::shared_ptr<TicketState>> queue;
+  long long submitted = 0;
+  long long completed = 0;
+  int active = 0;
+  bool stop = false;
+};
+
+namespace {
+
+/// Runs one request on `shard`'s prepared handles.  Never throws: failures
+/// land in the ticket's error slot and surface at wait().
+void execute_request(const CsrMatrix& a, ServiceShard& shard, int shard_index,
+                     TicketState& t) {
+  try {
+    switch (t.kind) {
+      case TicketState::Kind::kSpd:
+        t.x.assign(static_cast<std::size_t>(a.rows()), 0.0);
+        t.outcome = shard.spd->solve(t.b, t.x, t.controls);
+        break;
+      case TicketState::Kind::kSpdBlock:
+        t.x_block = MultiVector(a.rows(), t.b_block.cols());
+        t.outcome = shard.spd->solve(t.b_block, t.x_block, t.controls);
+        break;
+      case TicketState::Kind::kLsq:
+        t.x.assign(static_cast<std::size_t>(a.cols()), 0.0);
+        t.outcome = shard.lsq->solve(t.b, t.x, t.controls);
+        break;
+    }
+  } catch (...) {
+    t.error = std::current_exception();
+  }
+  t.shard = shard_index;
+}
+
+/// Dispatcher loop of one shard: pull the oldest queued request whenever
+/// this shard is free.  A single shared FIFO + free-shard pull is the
+/// least-loaded routing policy — an idle shard picks work up immediately,
+/// and requests queue only when every shard is busy.
+void serve_loop(ServiceImpl& impl, int shard_index) {
+  ServiceShard& shard = impl.shards[static_cast<std::size_t>(shard_index)];
+  for (;;) {
+    std::shared_ptr<TicketState> request;
+    {
+      std::unique_lock<std::mutex> lock(impl.mutex);
+      impl.work_cv.wait(lock,
+                        [&] { return impl.stop || !impl.queue.empty(); });
+      if (impl.queue.empty()) return;  // stop requested and fully drained
+      request = std::move(impl.queue.front());
+      impl.queue.pop_front();
+      ++impl.active;
+    }
+
+    execute_request(impl.a, shard, shard_index, *request);
+
+    // Fulfill the ticket first (results were written above, so the
+    // completed flag is the release point)...
+    {
+      std::lock_guard<std::mutex> lock(request->mutex);
+      request->completed = true;
+    }
+    request->cv.notify_all();
+
+    // ...then update service counters and the cached handle stats (the
+    // shard's handles are idle right now, so their stats() cannot block on
+    // a solve in flight).  drain() waiters watch `completed`, so notify on
+    // every completion — a drainer must not wait for *other* clients'
+    // later submissions to quiesce.
+    {
+      std::lock_guard<std::mutex> lock(impl.mutex);
+      --impl.active;
+      ++impl.completed;
+      ++shard.served;
+      if (shard.spd) shard.spd_stats = shard.spd->stats();
+      if (shard.lsq) shard.lsq_stats = shard.lsq->stats();
+    }
+    impl.drain_cv.notify_all();
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+// --- SolveTicket -------------------------------------------------------------
+
+bool SolveTicket::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->completed;
+}
+
+const SolveOutcome& SolveTicket::wait() {
+  require(state_ != nullptr, "SolveTicket::wait: invalid (default) ticket");
+  state_->wait_done();
+  return state_->outcome;
+}
+
+const std::vector<double>& SolveTicket::solution() {
+  require(state_ != nullptr, "SolveTicket::solution: invalid ticket");
+  state_->wait_done();
+  require(state_->kind != detail::TicketState::Kind::kSpdBlock,
+          "SolveTicket::solution: block request — use block_solution()");
+  return state_->x;
+}
+
+const MultiVector& SolveTicket::block_solution() {
+  require(state_ != nullptr, "SolveTicket::block_solution: invalid ticket");
+  state_->wait_done();
+  require(state_->kind == detail::TicketState::Kind::kSpdBlock,
+          "SolveTicket::block_solution: not a block request");
+  return state_->x_block;
+}
+
+int SolveTicket::shard() {
+  require(state_ != nullptr, "SolveTicket::shard: invalid ticket");
+  state_->wait_done();
+  return state_->shard;
+}
+
+// --- SolverService -----------------------------------------------------------
+
+SolverService::SolverService(const CsrMatrix& a, ServiceOptions options) {
+  require(options.shards >= 1, "SolverService: shards must be >= 1");
+  require(options.prepare_spd || options.prepare_lsq,
+          "SolverService: enable at least one of prepare_spd / prepare_lsq");
+  impl_ = std::make_unique<detail::ServiceImpl>(a, options);
+  int workers = options.workers_per_shard;
+  if (workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? static_cast<int>(hw) / options.shards : 1;
+    if (workers < 1) workers = 1;
+  }
+  impl_->workers = workers;
+
+  // Shard 0 pays the full per-matrix analysis; every other shard is a
+  // clone that reuses it (zero validation passes, zero transpose builds).
+  for (int s = 0; s < options.shards; ++s) {
+    detail::ServiceShard& shard = impl_->shards.emplace_back();
+    shard.pool = std::make_unique<ThreadPool>(workers);
+    if (options.prepare_spd) {
+      if (s == 0)
+        shard.spd.emplace(*shard.pool, a, options.check_input);
+      else
+        shard.spd.emplace(*shard.pool, *impl_->shards.front().spd);
+      shard.spd_stats = shard.spd->stats();
+    }
+    if (options.prepare_lsq) {
+      if (s == 0)
+        shard.lsq.emplace(*shard.pool, a);
+      else
+        shard.lsq.emplace(*shard.pool, *impl_->shards.front().lsq);
+      shard.lsq_stats = shard.lsq->stats();
+    }
+  }
+  // Handles are ready; only now start the dispatchers.
+  for (int s = 0; s < options.shards; ++s)
+    impl_->shards[static_cast<std::size_t>(s)].server =
+        std::thread([this, s] { detail::serve_loop(*impl_, s); });
+}
+
+SolverService::~SolverService() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (detail::ServiceShard& shard : impl_->shards)
+    if (shard.server.joinable()) shard.server.join();
+}
+
+SolveTicket SolverService::enqueue(
+    std::shared_ptr<detail::TicketState> state) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    require(!impl_->stop, "SolverService: submit after shutdown began");
+    impl_->queue.push_back(state);
+    ++impl_->submitted;
+  }
+  impl_->work_cv.notify_one();  // wake one free shard
+  return SolveTicket(std::move(state));
+}
+
+SolveTicket SolverService::submit(std::vector<double> b,
+                                  SolveControls controls) {
+  require(impl_->options.prepare_spd,
+          "SolverService::submit: service built without prepare_spd");
+  require(static_cast<index_t>(b.size()) == impl_->a.rows(),
+          "SolverService::submit: rhs size must equal matrix rows");
+  auto state = std::make_shared<detail::TicketState>();
+  state->kind = detail::TicketState::Kind::kSpd;
+  state->controls = controls;
+  state->b = std::move(b);
+  return enqueue(std::move(state));
+}
+
+SolveTicket SolverService::submit_block(MultiVector b,
+                                        SolveControls controls) {
+  require(impl_->options.prepare_spd,
+          "SolverService::submit_block: service built without prepare_spd");
+  require(b.rows() == impl_->a.rows() && b.cols() > 0,
+          "SolverService::submit_block: rhs rows must equal matrix rows");
+  auto state = std::make_shared<detail::TicketState>();
+  state->kind = detail::TicketState::Kind::kSpdBlock;
+  state->controls = controls;
+  state->b_block = std::move(b);
+  return enqueue(std::move(state));
+}
+
+SolveTicket SolverService::submit_least_squares(std::vector<double> b,
+                                                SolveControls controls) {
+  require(impl_->options.prepare_lsq,
+          "SolverService::submit_least_squares: service built without "
+          "prepare_lsq");
+  require(static_cast<index_t>(b.size()) == impl_->a.rows(),
+          "SolverService::submit_least_squares: rhs size must equal matrix "
+          "rows");
+  auto state = std::make_shared<detail::TicketState>();
+  state->kind = detail::TicketState::Kind::kLsq;
+  state->controls = controls;
+  state->b = std::move(b);
+  return enqueue(std::move(state));
+}
+
+void SolverService::drain() {
+  // "Everything submitted so far": snapshot the submission count at entry
+  // and wait for that many completions — not for global quiescence, which
+  // other clients' ongoing submissions could postpone forever.
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  const long long target = impl_->submitted;
+  impl_->drain_cv.wait(lock, [&] { return impl_->completed >= target; });
+}
+
+int SolverService::shards() const noexcept {
+  return static_cast<int>(impl_->shards.size());
+}
+
+int SolverService::workers_per_shard() const noexcept {
+  return impl_->workers;
+}
+
+const CsrMatrix& SolverService::matrix() const noexcept { return impl_->a; }
+
+ServiceStats SolverService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  ServiceStats s;
+  s.submitted = impl_->submitted;
+  s.completed = impl_->completed;
+  s.queued = static_cast<long long>(impl_->queue.size());
+  s.shards.reserve(impl_->shards.size());
+  for (const detail::ServiceShard& shard : impl_->shards) {
+    ShardStats ss;
+    ss.served = shard.served;
+    ss.spd = shard.spd_stats;
+    ss.lsq = shard.lsq_stats;
+    s.validation_passes +=
+        ss.spd.validation_passes + ss.lsq.validation_passes;
+    s.transpose_builds += ss.spd.transpose_builds + ss.lsq.transpose_builds;
+    s.shards.push_back(ss);
+  }
+  return s;
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,184 @@
+// SolverService: sharded multi-pool serving front-end.
+//
+// The prepared handles (asyrgs/problem.hpp) amortize per-matrix analysis
+// across repeated solves, but one handle serializes concurrent solve()
+// calls through its single ThreadPool — fine for a request loop, a ceiling
+// for the paper's motivating workload of *many concurrent* solves against
+// one operator (Section 9: one matrix, a stream of right-hand sides).
+// SolverService lifts that ceiling the way the paper's analysis says it
+// should scale: independent solves have no shared mutable state beyond the
+// immutable matrix, so N pools can run N solves truly in parallel.
+//
+//   SolverService service(a, {.shards = 4, .prepare_lsq = true});
+//   SolveTicket t = service.submit(b);            // returns immediately
+//   const SolveOutcome& out = t.wait();           // blocks for completion
+//   const std::vector<double>& x = t.solution();
+//
+// Architecture: the service owns `shards` ThreadPools; each shard carries
+// its own prepared SpdProblem / LsqProblem handle, shard-cloned from shard
+// 0's so the per-matrix analysis (symmetry validation, diagonal
+// reciprocals, the cached transpose, column-norm denominators) is paid
+// exactly once for the whole service (ProblemStats on the clones stay at
+// zero validation passes / transpose builds).  Requests enter one FIFO
+// queue; every free shard pulls the oldest request, so work always lands
+// on a least-loaded (idle) shard and queues only when all shards are busy.
+//
+// Determinism: a request with fixed SolveControls (seed, workers, pinned
+// scan) produces a bit-identical result on whichever shard runs it — all
+// shards hold clones of the same analysis against the same matrix, and
+// shard pools are all the same size so worker-count resolution cannot
+// differ.  With `controls.workers` pinned explicitly the result is also
+// bit-identical across services with different shard counts.  Gated by
+// tests/test_service.cpp.
+//
+// Thread-safety: submit_*(), drain(), and stats() may be called
+// concurrently from any number of client threads.  A SolveTicket is a
+// value handle to shared state; wait()/solution() may be called from any
+// thread (one at a time per ticket).  The bound CsrMatrix must outlive the
+// service.  Destruction drains: every submitted request is completed
+// before the destructor returns.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/problem.hpp"
+#include "asyrgs/sparse/csr.hpp"
+
+namespace asyrgs {
+
+namespace detail {
+struct TicketState;   // request + result + completion latch (service.cpp)
+struct ServiceImpl;   // shards, queue, dispatcher threads (service.cpp)
+}  // namespace detail
+
+/// Per-service configuration, fixed at construction.
+struct ServiceOptions {
+  /// Number of pool shards (concurrent solve lanes).  Each shard owns a
+  /// ThreadPool of `workers_per_shard` threads and prepared handle clones.
+  int shards = 2;
+  /// Team capacity of each shard's pool.  0 = auto: hardware_concurrency()
+  /// divided by `shards`, at least 1.  Keep it explicit when bit-identical
+  /// results across services with different shard counts matter (see the
+  /// determinism note above).
+  int workers_per_shard = 0;
+  /// Prepare SPD handles (required for submit / submit_block).
+  bool prepare_spd = true;
+  /// Prepare least-squares handles (required for submit_least_squares).
+  /// Off by default: it materializes A^T through the matrix cache.
+  bool prepare_lsq = false;
+  /// Validate symmetry at construction (SPD family; shard 0 only — clones
+  /// reuse the verdict).
+  bool check_input = true;
+};
+
+/// Future-like handle to one submitted solve.  Cheap to copy (shared
+/// state); default-constructed tickets are invalid until assigned.
+class SolveTicket {
+ public:
+  SolveTicket() = default;
+
+  /// True when this ticket refers to a submitted request.
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True once the request has completed (never blocks).
+  [[nodiscard]] bool done() const;
+
+  /// Blocks until the request completes and returns the outcome.  A solve
+  /// that threw (e.g. shape mismatch discovered on the shard) rethrows the
+  /// exception here — and on every later wait()/solution() call.
+  const SolveOutcome& wait();
+
+  /// The solution vector (SPD single / least-squares requests); blocks like
+  /// wait().  Valid until the last ticket copy is destroyed.
+  [[nodiscard]] const std::vector<double>& solution();
+
+  /// The block solution (submit_block requests); blocks like wait().
+  [[nodiscard]] const MultiVector& block_solution();
+
+  /// Index of the shard that executed the request (blocks like wait());
+  /// exposed for tests and load diagnostics.
+  [[nodiscard]] int shard();
+
+ private:
+  friend class SolverService;
+  explicit SolveTicket(std::shared_ptr<detail::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+};
+
+/// Per-shard serving counters, exposed through ServiceStats.
+struct ShardStats {
+  long long served = 0;  ///< requests this shard completed
+  ProblemStats spd;      ///< the shard's SpdProblem counters (if prepared)
+  ProblemStats lsq;      ///< the shard's LsqProblem counters (if prepared)
+};
+
+/// Aggregated service counters; a consistent snapshot at the time of the
+/// stats() call.
+struct ServiceStats {
+  long long submitted = 0;  ///< tickets issued
+  long long completed = 0;  ///< tickets fulfilled (including failed solves)
+  long long queued = 0;     ///< requests currently waiting for a shard
+  /// Validation passes summed over every shard's handles — stays at the
+  /// shard-0 construction count (1 per prepared family) because clones
+  /// re-validate nothing.
+  int validation_passes = 0;
+  /// Transpose builds summed over every shard's handles — at most 1 (and 0
+  /// when the matrix cache was already warm), shared via
+  /// CsrMatrix::transpose_shared().
+  int transpose_builds = 0;
+  std::vector<ShardStats> shards;
+};
+
+/// Sharded serving front-end: N ThreadPool shards, each with prepared
+/// handle clones of one analyzed matrix, fed from a single FIFO queue.
+/// See the header comment for architecture, determinism, and
+/// thread-safety; docs/API.md for the lifecycle contract.
+class SolverService {
+ public:
+  /// Prepares shard 0's handles against `a` (full analysis) and shard
+  /// clones for the rest, then starts one dispatcher thread per shard.
+  /// Throws asyrgs::Error on malformed input (same checks as the handle
+  /// constructors) or when no family is enabled.  `a` is kept by
+  /// reference and must outlive the service.
+  explicit SolverService(const CsrMatrix& a, ServiceOptions options = {});
+
+  /// Drains the queue (every submitted request completes), then stops and
+  /// joins the dispatcher threads.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Enqueues an SPD solve A x = b from x = 0; returns immediately.
+  /// Requires ServiceOptions::prepare_spd.  The right-hand side is moved
+  /// into the ticket, so the caller's buffer is not referenced afterwards.
+  SolveTicket submit(std::vector<double> b, SolveControls controls = {});
+
+  /// Enqueues a block SPD solve A X = B from X = 0 (asynchronous method
+  /// only, as SpdProblem::solve(MultiVector)).  Requires prepare_spd.
+  SolveTicket submit_block(MultiVector b, SolveControls controls = {});
+
+  /// Enqueues a least-squares solve min ||A x - b|| from x = 0.  Requires
+  /// ServiceOptions::prepare_lsq.
+  SolveTicket submit_least_squares(std::vector<double> b,
+                                   SolveControls controls = {});
+
+  /// Blocks until every request submitted so far has completed.
+  void drain();
+
+  [[nodiscard]] int shards() const noexcept;
+  [[nodiscard]] int workers_per_shard() const noexcept;
+  [[nodiscard]] const CsrMatrix& matrix() const noexcept;
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  SolveTicket enqueue(std::shared_ptr<detail::TicketState> state);
+
+  std::unique_ptr<detail::ServiceImpl> impl_;
+};
+
+}  // namespace asyrgs

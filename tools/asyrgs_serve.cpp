@@ -1,0 +1,148 @@
+// asyrgs_serve — sharded serving driver over the SolverService front-end.
+//
+//   asyrgs_serve [--matrix A.mtx] [--shards 2] [--requests 16] [--clients 2]
+//                [--mix spd|lsq|mixed] [--sweeps 8] [--tol 0]
+//                [--threads-per-shard 0] [--seed 1]
+//
+// Loads an SPD Matrix Market operator (or generates a 2-D Laplacian when
+// --matrix is omitted — self-contained smoke mode), builds a SolverService
+// with the requested shard count, submits a stream of solve requests from
+// several client threads (right-hand sides keyed by the request index), and
+// prints aggregate throughput plus the per-shard serving balance.  Exit
+// code 0 when every request completed successfully.
+//
+// This is the CLI face of the serving story: one analyzed matrix, many
+// concurrent solves, scaled across pool shards (docs/API.md "SolverService").
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "asyrgs/asyrgs.hpp"
+
+using namespace asyrgs;
+
+int main(int argc, char** argv) {
+  CliParser cli("asyrgs_serve", "serve a stream of solves across pool shards");
+  auto matrix_path = cli.add_string(
+      "matrix", "", "input matrix (.mtx); default: generated 24x24 Laplacian");
+  auto shards = cli.add_int("shards", 2, "pool shards (concurrent lanes)");
+  auto requests = cli.add_int("requests", 16, "total solve requests");
+  auto clients = cli.add_int("clients", 2, "client threads submitting");
+  auto mix = cli.add_string("mix", "mixed",
+                            "request stream: spd | lsq | mixed");
+  auto sweeps = cli.add_int("sweeps", 8, "sweep budget per request");
+  auto tol = cli.add_double("tol", 0.0,
+                            "relative residual target (0 = fixed budget; "
+                            ">0 switches to barrier-per-sweep early stop)");
+  auto lsq_tol = cli.add_double(
+      "lsq-tol", -1.0,
+      "normal-equations residual target for the lsq share of the stream "
+      "(default: --tol; least squares conditions as the operator squared, "
+      "so a looser target is usually appropriate)");
+  auto threads_per_shard =
+      cli.add_int("threads-per-shard", 0, "pool size per shard (0 = auto)");
+  auto seed = cli.add_int("seed", 1, "base seed for request rhs/directions");
+
+  try {
+    cli.parse(argc, argv);
+    require(*shards >= 1, "--shards must be >= 1");
+    require(*requests >= 1, "--requests must be >= 1");
+    require(*clients >= 1, "--clients must be >= 1");
+    require(*mix == "spd" || *mix == "lsq" || *mix == "mixed",
+            "unknown --mix (want spd|lsq|mixed)");
+
+    const CsrMatrix a = matrix_path.value().empty()
+                            ? laplacian_2d(24, 24)
+                            : read_matrix_market_file(*matrix_path);
+    if (matrix_path.value().empty())
+      std::cerr << "matrix: generated laplacian2d 24x24\n";
+    std::cerr << "matrix: " << a.rows() << " x " << a.cols() << ", " << a.nnz()
+              << " nonzeros\n";
+    const bool want_spd = *mix != "lsq";
+    const bool want_lsq = *mix != "spd";
+    require(!want_spd || a.square(),
+            "--mix spd/mixed requires a square (SPD) matrix");
+
+    ServiceOptions options;
+    options.shards = static_cast<int>(*shards);
+    options.workers_per_shard = static_cast<int>(*threads_per_shard);
+    options.prepare_spd = want_spd;
+    options.prepare_lsq = want_lsq;
+    WallTimer prepare_timer;
+    SolverService service(a, options);
+    std::cerr << "prepared " << service.shards() << "-shard service ("
+              << service.workers_per_shard() << " threads/shard) in "
+              << prepare_timer.seconds() << " s\n";
+
+    SolveControls controls;
+    controls.sweeps = static_cast<int>(*sweeps);
+    controls.rel_tol = *tol;
+    if (*tol > 0.0 || *lsq_tol > 0.0)
+      controls.sync = SyncMode::kBarrierPerSweep;  // tolerance needs sync
+
+    const int n_requests = static_cast<int>(*requests);
+    const int n_clients = static_cast<int>(*clients);
+    std::vector<SolveTicket> tickets(static_cast<std::size_t>(n_requests));
+    std::mutex tickets_mutex;
+
+    WallTimer serve_timer;
+    std::vector<std::thread> client_threads;
+    for (int c = 0; c < n_clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        // Client c submits requests c, c+n_clients, ... — a deterministic
+        // partition so rerunning with more clients serves the same stream.
+        for (int r = c; r < n_requests; r += n_clients) {
+          SolveControls req = controls;
+          req.seed = static_cast<std::uint64_t>(*seed) +
+                     static_cast<std::uint64_t>(r);
+          const std::vector<double> b =
+              random_vector(a.rows(), req.seed + 1000003);
+          const bool lsq = *mix == "lsq" || (*mix == "mixed" && r % 2 == 1);
+          if (lsq) {
+            req.step_size = 0.95;
+            if (*lsq_tol >= 0.0) req.rel_tol = *lsq_tol;
+          }
+          SolveTicket t = lsq ? service.submit_least_squares(b, req)
+                              : service.submit(b, req);
+          const std::lock_guard<std::mutex> lock(tickets_mutex);
+          tickets[static_cast<std::size_t>(r)] = t;
+        }
+      });
+    }
+    for (std::thread& t : client_threads) t.join();
+    service.drain();
+    const double seconds = serve_timer.seconds();
+
+    int failures = 0;
+    for (SolveTicket& t : tickets) {
+      try {
+        const SolveOutcome& out = t.wait();
+        if (out.status == SolveStatus::kToleranceNotReached) ++failures;
+      } catch (const std::exception& e) {
+        std::cerr << "request failed: " << e.what() << "\n";
+        ++failures;
+      }
+    }
+
+    const ServiceStats stats = service.stats();
+    std::cerr << "served " << stats.completed << " requests in " << seconds
+              << " s (" << static_cast<double>(stats.completed) / seconds
+              << " solves/s aggregate)\n";
+    for (std::size_t s = 0; s < stats.shards.size(); ++s)
+      std::cerr << "  shard " << s << ": " << stats.shards[s].served
+                << " served\n";
+    std::cerr << "analysis: " << stats.validation_passes
+              << " validation passes, " << stats.transpose_builds
+              << " transpose builds (whole service)\n";
+    if (failures > 0) {
+      std::cerr << failures << " request(s) failed\n";
+      return 2;
+    }
+    std::cerr << "all requests completed\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -2,7 +2,7 @@
 //
 //   asyrgs_solve --matrix A.mtx [--rhs b.mtx] [--out x.mtx]
 //                [--method auto|asyrgs|fcg|cg] [--tol 1e-8] [--threads 0]
-//                [--scan pinned|reassociated] [--repeat 1]
+//                [--scan pinned|reassociated] [--repeat 1] [--shards 1]
 //
 // Reads an SPD matrix (coordinate format, general or symmetric), prepares an
 // asyrgs::SpdProblem handle (validation + analysis paid once), solves
@@ -10,7 +10,13 @@
 // self-checking), writes the solution in array format, and prints a solve
 // summary.  --repeat N re-runs the solve N times on the prepared handle —
 // the serving pattern for many requests against one operator; only the
-// first solve pays preparation.
+// first solve pays preparation.  --shards N (N > 1) routes the repeats
+// through the sharded SolverService front-end instead, exercising the
+// concurrent serving path end to end.  Note the two paths resolve team
+// size differently at the default --threads 0 (global pool capacity vs
+// per-shard capacity), and multi-worker asynchronous runs are not
+// bit-reproducible; byte-identical output across the two paths requires
+// an explicit --threads 1 under the pinned scan.
 #include <fstream>
 #include <iostream>
 
@@ -32,6 +38,10 @@ int main(int argc, char** argv) {
   auto repeat = cli.add_int("repeat", 1,
                             "solves against the prepared handle (>= 1; "
                             "preparation is paid once)");
+  auto shards = cli.add_int("shards", 1,
+                            "SolverService pool shards; > 1 submits the "
+                            "repeats concurrently to the sharded serving "
+                            "front-end");
   auto scan = cli.add_string(
       "scan", "pinned",
       "row-scan FP association: pinned (bit-reproducible) | reassociated "
@@ -41,6 +51,7 @@ int main(int argc, char** argv) {
     cli.parse(argc, argv);
     require(!matrix_path.value().empty(), "missing required --matrix");
     require(*repeat >= 1, "--repeat must be >= 1");
+    require(*shards >= 1, "--shards must be >= 1");
     require(*tol > 0.0, "--tol must be positive");
 
     const CsrMatrix a = read_matrix_market_file(*matrix_path);
@@ -83,21 +94,47 @@ int main(int argc, char** argv) {
     else
       throw Error("unknown --scan (want pinned|reassociated)");
 
-    // Prepare once (symmetry + diagonal validation, cached transpose,
-    // scratch), then solve --repeat times against the handle.
-    WallTimer prepare_timer;
-    SpdProblem problem(ThreadPool::global(), a, /*check_input=*/true);
-    std::cerr << "prepared handle in " << prepare_timer.seconds() << " s\n";
-
     std::vector<double> x;
     SolveOutcome outcome;
-    for (std::int64_t run = 0; run < *repeat; ++run) {
-      x.assign(static_cast<std::size_t>(a.rows()), 0.0);
-      outcome = problem.solve(b, x, controls);
-      if (*repeat > 1)
-        std::cerr << "solve " << (run + 1) << "/" << *repeat << ": "
-                  << to_string(outcome.status) << " in " << outcome.seconds
-                  << " s\n";
+    if (*shards > 1) {
+      // Sharded serving path: prepare the service once (shard 0 validates,
+      // clones reuse the analysis), submit every repeat concurrently, and
+      // let free shards pull them.
+      ServiceOptions service_options;
+      service_options.shards = static_cast<int>(*shards);
+      service_options.workers_per_shard = static_cast<int>(*threads);
+      WallTimer prepare_timer;
+      SolverService service(a, service_options);
+      std::cerr << "prepared " << service.shards() << "-shard service ("
+                << service.workers_per_shard() << " threads/shard) in "
+                << prepare_timer.seconds() << " s\n";
+      std::vector<SolveTicket> tickets;
+      for (std::int64_t run = 0; run < *repeat; ++run)
+        tickets.push_back(service.submit(b, controls));
+      for (std::size_t run = 0; run < tickets.size(); ++run) {
+        outcome = tickets[run].wait();
+        if (*repeat > 1)
+          std::cerr << "solve " << (run + 1) << "/" << *repeat << " (shard "
+                    << tickets[run].shard() << "): "
+                    << to_string(outcome.status) << " in " << outcome.seconds
+                    << " s\n";
+      }
+      x = tickets.back().solution();
+    } else {
+      // Prepare once (symmetry + diagonal validation, cached transpose,
+      // scratch), then solve --repeat times against the handle.
+      WallTimer prepare_timer;
+      SpdProblem problem(ThreadPool::global(), a, /*check_input=*/true);
+      std::cerr << "prepared handle in " << prepare_timer.seconds() << " s\n";
+
+      for (std::int64_t run = 0; run < *repeat; ++run) {
+        x.assign(static_cast<std::size_t>(a.rows()), 0.0);
+        outcome = problem.solve(b, x, controls);
+        if (*repeat > 1)
+          std::cerr << "solve " << (run + 1) << "/" << *repeat << ": "
+                    << to_string(outcome.status) << " in " << outcome.seconds
+                    << " s\n";
+      }
     }
 
     std::cerr << "method: " << outcome.description << "\n"

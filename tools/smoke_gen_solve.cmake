@@ -1,7 +1,9 @@
 # CTest smoke script: asyrgs_gen -> asyrgs_solve end to end.
 #
 # Expects: ASYRGS_GEN, ASYRGS_SOLVE (tool paths), KIND (generator kind),
-# WORK_DIR (scratch directory, created fresh).
+# WORK_DIR (scratch directory, created fresh).  Optional: SOLVE_EXTRA, a
+# semicolon-separated list of extra asyrgs_solve flags (e.g. the sharded
+# serving path: "--shards;2;--repeat;3").
 #
 # Fails the test on a nonzero exit code from either tool, a missing matrix
 # file, or a missing/too-large "relative residual:" line from the solver.
@@ -32,9 +34,12 @@ if(NOT EXISTS "${matrix}")
   message(FATAL_ERROR "asyrgs_gen did not write ${matrix}")
 endif()
 
+if(NOT DEFINED SOLVE_EXTRA)
+  set(SOLVE_EXTRA "")
+endif()
 execute_process(
   COMMAND "${ASYRGS_SOLVE}" --matrix "${matrix}" --out "${solution}"
-          --tol 1e-8 --threads 2
+          --tol 1e-8 --threads 2 ${SOLVE_EXTRA}
   RESULT_VARIABLE solve_status
   OUTPUT_VARIABLE solve_out
   ERROR_VARIABLE solve_err)
