@@ -18,6 +18,7 @@
 // the "generic kernel" reference for the micro-benchmarks.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -237,6 +238,20 @@ struct ServingPoint {
   double solves_per_second = 0.0;
 };
 
+/// Open-loop overload measurement (schema v6): arrivals paced at ~2x the
+/// measured single-shard capacity against a small admission bound, so the
+/// service *must* shed load.  Records how gracefully it did: the reject
+/// rate and the latency tail of what it chose to serve.
+struct OverloadPoint {
+  double arrival_rate = 0.0;   // offered arrivals per second (target)
+  double duration_seconds = 0.0;
+  long long offered = 0;
+  long long rejected = 0;      // admission rejects + deadline sheds
+  double reject_rate = 0.0;
+  double p50_seconds = 0.0;    // latency of served requests, enqueue->done
+  double p99_seconds = 0.0;
+};
+
 struct WorkloadSpec {
   std::string name;
   SocialGramOptions gram;
@@ -345,6 +360,7 @@ int main(int argc, char** argv) {
   AmortizationPoint amor_spd, amor_lsq;
   const int amor_sweeps = *smoke ? 2 : 4;
   std::vector<ServingPoint> serving;
+  OverloadPoint overload;
   const int serve_requests = *smoke ? 8 : 40;
   const int serve_sweeps = *smoke ? 2 : 8;
   const int serve_clients = 2;
@@ -687,6 +703,75 @@ int main(int argc, char** argv) {
                                    1),
                          "-"});
         }
+
+        // --- open-loop overload point (schema v6) ------------------------
+        // Requests arrive on a fixed clock at ~2x the single-shard capacity
+        // just measured, against a single-worker shard with a small
+        // admission bound.  A well-behaved service sheds the excess as
+        // kRejected and keeps the latency of what it *does* serve bounded
+        // by (max_queue + 1) solve times; this row records both sides of
+        // that trade (reject rate, served-latency tail).
+        {
+          ServiceOptions so;
+          so.shards = 1;
+          so.workers_per_shard = 1;
+          so.max_queue = 4;
+          so.check_input = true;
+          SolverService service(a, so);
+          const std::vector<double> ob = random_vector(n, 424242);
+
+          // Calibrate the shard's service rate directly: sequential solves
+          // with one outstanding request, so the figure is pure service
+          // time (the closed-loop serving points above include client-side
+          // submit/sync overhead and under-read capacity).
+          double solve_seconds = 1e300;
+          for (int rep = 0; rep < 5; ++rep) {
+            SolveControls req = serve_spd;
+            req.seed = 999'000 + static_cast<std::uint64_t>(rep);
+            WallTimer t;
+            service.submit(ob, req).wait();
+            solve_seconds = std::min(solve_seconds, t.seconds());
+          }
+          overload.arrival_rate = 2.0 / solve_seconds;
+          overload.duration_seconds = *smoke ? 0.25 : 1.0;
+          const double period = 1.0 / overload.arrival_rate;
+          std::vector<SolveTicket> tickets;
+          const auto start = std::chrono::steady_clock::now();
+          for (int r = 0;; ++r) {
+            const double target = static_cast<double>(r) * period;
+            if (target >= overload.duration_seconds) break;
+            std::this_thread::sleep_until(
+                start +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(target)));
+            SolveControls req = serve_spd;
+            req.seed = static_cast<std::uint64_t>(r + 1);
+            tickets.push_back(service.submit(ob, req));
+          }
+          service.drain();
+          for (SolveTicket& ticket : tickets) {
+            const SolveOutcome& out = ticket.wait();
+            if (out.status != SolveStatus::kBudgetCompleted &&
+                out.status != SolveStatus::kRejected) {
+              std::cerr << "serving_overload: unexpected outcome: "
+                        << out.description << "\n";
+              return 1;
+            }
+          }
+          const ServiceStats stats = service.stats();
+          overload.offered = static_cast<long long>(tickets.size());
+          overload.rejected = stats.rejected + stats.shed_deadline;
+          overload.reject_rate =
+              overload.offered > 0
+                  ? static_cast<double>(overload.rejected) /
+                        static_cast<double>(overload.offered)
+                  : 0.0;
+          overload.p50_seconds = stats.latency.p50();
+          overload.p99_seconds = stats.latency.p99();
+          table.add_row({spec.name, "1", "current", "serving/overload",
+                         "pinned", "-", "-", "-"});
+        }
       }
     }
   }
@@ -778,12 +863,24 @@ int main(int argc, char** argv) {
   std::cout << "best multi-shard=" << serve_best_shards << " ("
             << fmt_fixed(serve_speedup, 2) << "x vs single)\n";
 
+  // --- overload headline ---------------------------------------------------
+  // Open-loop arrivals at ~2x single-shard capacity, max_queue=4: how much
+  // load the service sheds and what latency the served share saw.
+  std::cout << "# overload headline (" << headline_workload
+            << ", 1 shard, open loop " << fmt_fixed(overload.arrival_rate, 1)
+            << "/s for " << overload.duration_seconds << "s, max_queue=4): "
+            << "offered=" << overload.offered
+            << " rejected=" << overload.rejected << " (reject rate "
+            << fmt_fixed(overload.reject_rate, 2) << ") served p50="
+            << fmt_sci(overload.p50_seconds) << "s p99="
+            << fmt_sci(overload.p99_seconds) << "s\n";
+
   // --- JSON --------------------------------------------------------------
   const std::string path =
       (*out_path).empty() ? "BENCH_" + *label + ".json" : *out_path;
   std::ofstream json(path);
   json << "{\n"
-       << "  \"schema_version\": 5,\n"
+       << "  \"schema_version\": 6,\n"
        << "  \"bench\": \"bench_updates\",\n"
        << "  \"label\": \"" << json_escape(*label) << "\",\n"
        << "  \"git\": \"" << json_escape(*git_rev) << "\",\n"
@@ -865,7 +962,15 @@ int main(int argc, char** argv) {
          << "}";
   json << "],\n"
        << "    \"best_multi_shards\": " << serve_best_shards
-       << ", \"speedup_vs_single\": " << serve_speedup << "}\n"
+       << ", \"speedup_vs_single\": " << serve_speedup << ",\n"
+       << "    \"overload\": {\"arrival_rate\": " << overload.arrival_rate
+       << ", \"duration_seconds\": " << overload.duration_seconds
+       << ", \"max_queue\": 4"
+       << ", \"offered\": " << overload.offered
+       << ", \"rejected\": " << overload.rejected
+       << ", \"reject_rate\": " << overload.reject_rate
+       << ", \"served_p50_seconds\": " << overload.p50_seconds
+       << ", \"served_p99_seconds\": " << overload.p99_seconds << "}}\n"
        << "}\n";
   std::cout << "# wrote " << path << "\n";
   return 0;

@@ -44,9 +44,9 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
 
 echo "bench.sh: wrote BENCH_${label}.json"
 
-# Side-by-side scan-mode, prepare-amortization, and serving-throughput
-# summaries (schema v5: docs/TUNING.md).  Best effort — the JSON is the
-# artifact; these lines are for the terminal.
+# Side-by-side scan-mode, prepare-amortization, serving-throughput, and
+# overload summaries (schema v6: docs/TUNING.md).  Best effort — the JSON is
+# the artifact; these lines are for the terminal.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "BENCH_${label}.json" <<'PYEOF'
 import json, sys
@@ -81,5 +81,11 @@ if v:
           "(best multi-shard %d, %.2fx vs single)"
           % (v["workload"], v["requests"], v["mix"], points,
              v["best_multi_shards"], v["speedup_vs_single"]))
+    o = v.get("overload")
+    if o:
+        print("bench.sh: overload (1 shard, %.3g/s open loop, max_queue=%d): "
+              "offered=%d rejected=%d (rate %.2f) served p99=%.3gs"
+              % (o["arrival_rate"], o["max_queue"], o["offered"],
+                 o["rejected"], o["reject_rate"], o["served_p99_seconds"]))
 PYEOF
 fi

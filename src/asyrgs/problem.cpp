@@ -111,6 +111,8 @@ const char* to_string(SolveStatus status) noexcept {
       return "tolerance-not-reached";
     case SolveStatus::kBudgetCompleted:
       return "budget-completed";
+    case SolveStatus::kRejected:
+      return "rejected";
   }
   return "?";
 }

@@ -63,10 +63,15 @@ enum class SolveStatus {
   /// The fixed iteration budget ran to completion with no tolerance in
   /// play (free-running asynchronous runs, or rel_tol == 0).
   kBudgetCompleted,
+  /// The request never ran: a serving layer declined it (queue at
+  /// ServiceOptions::max_queue, submit racing shutdown, or a deadline that
+  /// expired while queued).  Direct handle solves never produce this; the
+  /// ticket's `description` names the reason.  See serve/service.hpp.
+  kRejected,
 };
 
 /// Human-readable status name ("converged", "tolerance-not-reached",
-/// "budget-completed").
+/// "budget-completed", "rejected").
 [[nodiscard]] const char* to_string(SolveStatus status) noexcept;
 
 /// Per-call knobs for a prepared handle, deliberately separated from the

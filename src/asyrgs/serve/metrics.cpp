@@ -1,0 +1,87 @@
+#include "asyrgs/serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace asyrgs {
+
+namespace {
+
+// r = 2^(1/3): three bins per octave.  log2(x)/log2(r) = 3 * log2(x).
+int bin_index(double seconds) noexcept {
+  if (!(seconds > LatencyHistogram::kMinSeconds)) return 0;
+  const double octaves = std::log2(seconds / LatencyHistogram::kMinSeconds);
+  const int i = static_cast<int>(octaves * 3.0);
+  return std::min(i, LatencyHistogram::kBins - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) noexcept {
+  if (seconds < 0.0) seconds = 0.0;
+  ++bins_[static_cast<std::size_t>(bin_index(seconds))];
+  ++count_;
+  sum_ += seconds;
+  if (seconds > max_) max_ = seconds;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (int i = 0; i < kBins; ++i)
+    bins_[static_cast<std::size_t>(i)] +=
+        other.bins_[static_cast<std::size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double LatencyHistogram::bin_lower(int i) noexcept {
+  return kMinSeconds * std::exp2(static_cast<double>(i) / 3.0);
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based, ceil(q * n) clamped into [1, n].
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBins; ++i) {
+    seen += bins_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      // Geometric midpoint of [lower, lower * r): lower * r^(1/2).
+      return bin_lower(i) * std::exp2(1.0 / 6.0);
+    }
+  }
+  return bin_lower(kBins - 1);
+}
+
+std::string format_json_trace(const TraceEvent& event) {
+  // Timestamps in microseconds as integers: fixed-width, locale-independent,
+  // and precise enough for queue/solve latencies (the histogram floor is
+  // 1us too).  `kind` and `status` are engine-chosen tokens, never
+  // user-controlled strings, so no escaping is required.
+  const auto us = [](double seconds) { return std::llround(seconds * 1e6); };
+  std::ostringstream line;
+  line << "{\"type\":\"request\",\"id\":" << event.request_id << ",\"kind\":\""
+       << event.kind << "\",\"status\":\"" << event.status
+       << "\",\"shard\":" << event.shard << ",\"priority\":" << event.priority
+       << ",\"warm_start\":" << (event.warm_start ? "true" : "false")
+       << ",\"enqueue_us\":" << us(event.enqueue_seconds)
+       << ",\"start_us\":" << (event.start_seconds < 0.0
+                                   ? -1
+                                   : us(event.start_seconds))
+       << ",\"done_us\":" << us(event.done_seconds) << "}";
+  return line.str();
+}
+
+void JsonTraceSink::log(const TraceEvent& event) {
+  const std::string line = format_json_trace(event);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+}  // namespace asyrgs

@@ -1,0 +1,118 @@
+// Serving observability: latency histograms and a structured trace sink.
+//
+// The serving layer (serve/service.hpp) answers a stream of requests; raw
+// counters (submitted/completed) say nothing about *how* it answered them
+// under load.  This header provides the two observability primitives the
+// service records per request:
+//
+//   LatencyHistogram   fixed log-spaced bins over [1us, ~1.2h); recording is
+//                      a clamp + two integer increments on a fixed array —
+//                      no allocation, no floating-point accumulation drift —
+//                      so the dispatcher can record on the completion path.
+//                      Quantiles (p50/p95/p99) are estimated from the bins
+//                      at read time (geometric bin midpoint, so the estimate
+//                      is within one bin ratio, ~26%, of the true value).
+//
+//   TraceSink          structured per-request event log in the spirit of
+//                      FoundationDB's Trace.cpp + JsonTraceLogFormatter:
+//                      one machine-parseable JSON object per completed
+//                      request (enqueue/start/done timestamps, shard,
+//                      priority, status), emitted to any std::ostream.
+//
+// Thread-safety: LatencyHistogram itself is plain data — the service guards
+// its instances with the stats mutex.  JsonTraceSink serializes writes with
+// an internal mutex, so one sink may be shared by every completion path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace asyrgs {
+
+/// Fixed-bin log-spaced latency histogram.  Bin i covers
+/// [kMinSeconds * r^i, kMinSeconds * r^(i+1)) with r = 2^(1/3); 96 bins span
+/// 1us up to ~57 minutes, the top bin catching everything beyond.  Under-
+/// and overflows clamp to the edge bins.  Copyable plain data: a stats()
+/// snapshot is just a copy.
+class LatencyHistogram {
+ public:
+  static constexpr int kBins = 96;
+  static constexpr double kMinSeconds = 1e-6;
+
+  /// Records one sample (clamped into the bin range).  No allocation.
+  void record(double seconds) noexcept;
+
+  /// Merges another histogram into this one (used to aggregate shards).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Estimated q-quantile (q in [0, 1]) as the geometric midpoint of the
+  /// first bin whose cumulative count reaches q * count().  Returns 0 when
+  /// empty.  p50/p95/p99 below are the conventional read-outs.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Exact sum of recorded samples (mean = total_seconds()/count()).
+  [[nodiscard]] double total_seconds() const noexcept { return sum_; }
+  /// Exact largest recorded sample (the histogram tail is clamped; this
+  /// is not).
+  [[nodiscard]] double max_seconds() const noexcept { return max_; }
+
+  /// Lower bound of bin i in seconds (exposed for tests and exporters).
+  [[nodiscard]] static double bin_lower(int i) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One completed (or rejected) serving request, ready for a trace sink.
+/// Timestamps are seconds relative to service construction on the steady
+/// clock; a request that never reached a shard has start_seconds < 0 and
+/// shard == -1.
+struct TraceEvent {
+  long long request_id = 0;     ///< submission order, 1-based
+  const char* kind = "spd";     ///< "spd" | "spd_block" | "lsq"
+  const char* status = "";      ///< to_string(SolveStatus) or "error"
+  int shard = -1;               ///< executing shard; -1 = never executed
+  int priority = 0;             ///< admitted priority class
+  bool warm_start = false;      ///< request carried an initial iterate
+  double enqueue_seconds = 0.0;
+  double start_seconds = -1.0;
+  double done_seconds = 0.0;
+};
+
+/// Renders `event` as a single-line JSON object (no trailing newline) —
+/// the format JsonTraceSink writes.  Split out so tests can pin the format
+/// without an ostream.
+[[nodiscard]] std::string format_json_trace(const TraceEvent& event);
+
+/// Destination for per-request trace events.  Implementations must be safe
+/// to call from multiple completion threads concurrently.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void log(const TraceEvent& event) = 0;
+};
+
+/// Writes one JSON line per event to a borrowed ostream (which must outlive
+/// the sink), serialized by an internal mutex and flushed per line so a
+/// crashed or killed process loses at most the in-flight event.
+class JsonTraceSink final : public TraceSink {
+ public:
+  explicit JsonTraceSink(std::ostream& out) : out_(out) {}
+  void log(const TraceEvent& event) override;
+
+ private:
+  std::ostream& out_;
+  std::mutex mutex_;
+};
+
+}  // namespace asyrgs

@@ -1,0 +1,143 @@
+// Serving observability primitives (serve/metrics.hpp): the log-spaced
+// latency histogram's binning/quantile math and the structured JSON trace
+// format.  The service-level integration (histograms populated per shard,
+// trace events per request) lives in test_service.cpp; this suite pins the
+// primitives themselves so exporters and dashboards can rely on the format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asyrgs/serve/metrics.hpp"
+
+namespace asyrgs {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total_seconds(), 0.0);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(LatencyHistogram, BinsAreLogSpacedAndMonotonic) {
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bin_lower(0),
+                   LatencyHistogram::kMinSeconds);
+  // Three bins per octave: bin 3 starts at exactly twice bin 0.
+  EXPECT_NEAR(LatencyHistogram::bin_lower(3),
+              2.0 * LatencyHistogram::kMinSeconds, 1e-12);
+  for (int i = 1; i < LatencyHistogram::kBins; ++i)
+    EXPECT_GT(LatencyHistogram::bin_lower(i),
+              LatencyHistogram::bin_lower(i - 1));
+  // The open-ended top bin starts near an hour (2^(95/3) us ~ 3409 s), so
+  // serving latencies never overflow meaningfully.
+  EXPECT_GT(LatencyHistogram::bin_lower(LatencyHistogram::kBins - 1), 3000.0);
+}
+
+TEST(LatencyHistogram, QuantilesLandWithinOneBinOfTruth) {
+  LatencyHistogram h;
+  // 100 samples at 1ms, 10 at 100ms: p50 is 1ms-ish, p95/p99 are 100ms-ish.
+  for (int i = 0; i < 100; ++i) h.record(1e-3);
+  for (int i = 0; i < 10; ++i) h.record(0.1);
+  EXPECT_EQ(h.count(), 110u);
+  EXPECT_NEAR(h.total_seconds(), 100 * 1e-3 + 10 * 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.1);
+  // One bin is a ratio of 2^(1/3) ~ 1.26; the midpoint estimate is within
+  // a factor of 1.26 of the true value.
+  EXPECT_GT(h.p50(), 1e-3 / 1.3);
+  EXPECT_LT(h.p50(), 1e-3 * 1.3);
+  EXPECT_GT(h.p99(), 0.1 / 1.3);
+  EXPECT_LT(h.p99(), 0.1 * 1.3);
+  // The p-extremes clamp to the populated range.
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(LatencyHistogram, OutOfRangeSamplesClampToEdgeBins) {
+  LatencyHistogram h;
+  h.record(0.0);      // below the 1us floor
+  h.record(-1.0);     // negative clamps to zero
+  h.record(1e9);      // past the top bin
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 1e9);  // exact max is not clamped
+  EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeAggregatesCountsSumsAndMax) {
+  LatencyHistogram a, b;
+  a.record(1e-3);
+  a.record(2e-3);
+  b.record(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.total_seconds(), 1e-3 + 2e-3 + 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(a.max_seconds(), 0.5);
+  EXPECT_GT(a.quantile(1.0), 0.3);  // the merged tail is visible
+}
+
+TEST(TraceFormat, JsonLineIsStableAndMachineParseable) {
+  TraceEvent e;
+  e.request_id = 42;
+  e.kind = "lsq";
+  e.status = "converged";
+  e.shard = 3;
+  e.priority = 0;
+  e.warm_start = true;
+  e.enqueue_seconds = 1.5;
+  e.start_seconds = 1.502;
+  e.done_seconds = 2.0;
+  EXPECT_EQ(format_json_trace(e),
+            "{\"type\":\"request\",\"id\":42,\"kind\":\"lsq\","
+            "\"status\":\"converged\",\"shard\":3,\"priority\":0,"
+            "\"warm_start\":true,\"enqueue_us\":1500000,"
+            "\"start_us\":1502000,\"done_us\":2000000}");
+}
+
+TEST(TraceFormat, NeverStartedRequestRecordsMinusOneStart) {
+  TraceEvent e;
+  e.request_id = 7;
+  e.status = "rejected";
+  e.done_seconds = 0.25;
+  const std::string line = format_json_trace(e);
+  EXPECT_NE(line.find("\"start_us\":-1"), std::string::npos);
+  EXPECT_NE(line.find("\"shard\":-1"), std::string::npos);
+  EXPECT_NE(line.find("\"warm_start\":false"), std::string::npos);
+}
+
+TEST(JsonTraceSink, ConcurrentWritersEmitWholeLines) {
+  std::ostringstream out;
+  JsonTraceSink sink(out);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        e.request_id = t * kPerThread + i;
+        e.status = "budget-completed";
+        sink.log(e);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  // Every line is one complete JSON object — no interleaved writes.
+  std::istringstream in(out.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":\"request\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace asyrgs

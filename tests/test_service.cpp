@@ -15,14 +15,27 @@
 //      the whole service.
 //  (d) The SolveTicket contract: done()/wait()/solution() semantics, solve
 //      errors rethrown at wait(), eager submit-side validation.
+//  (e) Admission control and deadlines (PR 6): queue-full and
+//      shutdown-race submits resolve to SolveStatus::kRejected without
+//      throwing, deadline-expired requests are shed unexecuted, priority
+//      classes reorder dispatch, and the ServiceStats accounting invariant
+//      submitted == completed + queued + in_flight holds under concurrent
+//      load.
+//  (f) Warm starts: re-solving a perturbed right-hand side from the
+//      previous solution converges in fewer sweeps than from zero.
+//  (g) Observability: per-shard latency histograms and the JSON trace sink
+//      record every request.
 //
-// This suite (with test_problem and test_thread_pool) is the TSan CI
-// gate — keep it free of intentional races: multi-worker requests stay on
-// atomic writes and the pinned scan.
+// This suite (with test_problem, test_serve_metrics, and test_thread_pool)
+// is the TSan CI gate — keep it free of intentional races: multi-worker
+// requests stay on atomic writes and the pinned scan.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -418,6 +431,415 @@ TEST(SolverService, DestructorDrainsOutstandingRequests) {
     EXPECT_TRUE(t.done());  // completed before the destructor returned
     EXPECT_EQ(t.wait().status, SolveStatus::kBudgetCompleted);
   }
+}
+
+// --- (e) admission control, deadlines, priorities ----------------------------
+
+/// Controls for a solve slow enough (hundreds of ms on any host) to hold a
+/// 1-worker shard busy while the test manipulates the queue behind it.
+SolveControls slow_controls(int sweeps = 4000) {
+  SolveControls c;
+  c.sweeps = sweeps;
+  c.workers = 1;
+  return c;
+}
+
+/// Polls until the service reports at least `n` requests executing; false
+/// on timeout (~2s).
+bool wait_for_in_flight(SolverService& service, long long n) {
+  for (int i = 0; i < 2000; ++i) {
+    if (service.stats().in_flight >= n) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(SolverService, QueueFullSubmitsResolveRejectedWithoutThrowing) {
+  const CsrMatrix a = laplacian_2d(32, 32);
+  ServiceOptions options;
+  options.shards = 1;
+  options.workers_per_shard = 1;
+  options.prepare_lsq = false;
+  options.max_queue = 1;
+  SolverService service(a, options);
+  const std::vector<double> b = random_vector(a.rows(), 1);
+
+  // Occupy the only shard, then fill the single queue slot.
+  SolveTicket busy = service.submit(b, slow_controls());
+  ASSERT_TRUE(wait_for_in_flight(service, 1));
+  SolveTicket queued = service.submit(b, slow_controls());
+
+  // Every further submit is refused — resolved, not thrown.
+  std::vector<SolveTicket> rejected;
+  for (int r = 0; r < 3; ++r)
+    rejected.push_back(service.submit(b, slow_controls()));
+  for (SolveTicket& t : rejected) {
+    EXPECT_TRUE(t.done());  // rejection resolves at submit, before wait()
+    const SolveOutcome& out = t.wait();  // must not throw
+    EXPECT_EQ(out.status, SolveStatus::kRejected);
+    EXPECT_NE(out.description.find("queue full"), std::string::npos)
+        << out.description;
+    EXPECT_EQ(t.shard(), -1);  // never reached a shard
+  }
+
+  const ServiceStats mid = service.stats();
+  EXPECT_EQ(mid.rejected, 3);
+  EXPECT_EQ(mid.queue_high_water, 1);  // the bound was respected
+
+  // The admitted requests still complete normally.
+  EXPECT_EQ(busy.wait().status, SolveStatus::kBudgetCompleted);
+  EXPECT_EQ(queued.wait().status, SolveStatus::kBudgetCompleted);
+  service.drain();
+  const ServiceStats end = service.stats();
+  EXPECT_EQ(end.submitted, 5);
+  EXPECT_EQ(end.completed, 5);  // completed includes the rejected tickets
+}
+
+TEST(SolverService, DeadlineExpiredRequestsAreShedUnexecuted) {
+  const CsrMatrix a = laplacian_2d(32, 32);
+  ServiceOptions options;
+  options.shards = 1;
+  options.workers_per_shard = 1;
+  options.prepare_lsq = false;
+  SolverService service(a, options);
+  const std::vector<double> b = random_vector(a.rows(), 2);
+
+  // Block the shard for hundreds of ms, then queue a request whose 5ms
+  // deadline is long gone by the time the shard frees up.
+  SolveTicket busy = service.submit(b, slow_controls());
+  ASSERT_TRUE(wait_for_in_flight(service, 1));
+  RequestOptions strict;
+  strict.deadline_seconds = 0.005;
+  SolveTicket doomed = service.submit(b, slow_controls(), strict);
+
+  const SolveOutcome& out = doomed.wait();  // resolves when the shard sheds
+  EXPECT_EQ(out.status, SolveStatus::kRejected);
+  EXPECT_NE(out.description.find("deadline"), std::string::npos)
+      << out.description;
+  EXPECT_EQ(doomed.shard(), -1);  // shed requests never execute
+  // The initial iterate was never touched: still all zeros.
+  for (double v : doomed.solution()) ASSERT_EQ(v, 0.0);
+
+  EXPECT_EQ(busy.wait().status, SolveStatus::kBudgetCompleted);
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_deadline, 1);
+  EXPECT_EQ(stats.rejected, 0);  // sheds are counted separately
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(SolverService, HigherPriorityClassDispatchesFirst) {
+  const CsrMatrix a = laplacian_2d(16, 16);
+  auto trace_text = std::make_shared<std::ostringstream>();
+  ServiceOptions options;
+  options.shards = 1;
+  options.workers_per_shard = 1;
+  options.prepare_lsq = false;
+  options.trace = std::make_shared<JsonTraceSink>(*trace_text);
+  SolverService service(a, options);
+  const std::vector<double> b = random_vector(a.rows(), 3);
+
+  // While the shard is busy, queue a low-priority request first and a
+  // high-priority one second; the high-priority one must run first.
+  SolveTicket busy = service.submit(b, slow_controls());
+  ASSERT_TRUE(wait_for_in_flight(service, 1));
+  RequestOptions low, high;
+  low.priority = 2;
+  high.priority = 0;
+  SolveControls quick;
+  quick.sweeps = 2;
+  quick.workers = 1;
+  SolveTicket t_low = service.submit(b, quick, low);    // request id 2
+  SolveTicket t_high = service.submit(b, quick, high);  // request id 3
+  service.drain();
+
+  // Completion order on a 1-worker single shard is execution order; the
+  // trace log records completions in order, so id 3 must appear before
+  // id 2.
+  const std::string log = trace_text->str();
+  const std::size_t pos_high = log.find("\"id\":3");
+  const std::size_t pos_low = log.find("\"id\":2");
+  ASSERT_NE(pos_high, std::string::npos) << log;
+  ASSERT_NE(pos_low, std::string::npos) << log;
+  EXPECT_LT(pos_high, pos_low) << log;
+  EXPECT_NE(log.find("\"priority\":0"), std::string::npos);
+  EXPECT_NE(log.find("\"priority\":2"), std::string::npos);
+  EXPECT_EQ(t_high.wait().status, SolveStatus::kBudgetCompleted);
+  EXPECT_EQ(t_low.wait().status, SolveStatus::kBudgetCompleted);
+}
+
+TEST(SolverService, SubmitRacingShutdownResolvesRejectedRegression) {
+  // Regression for the PR-5 contract gap: a submit racing shutdown used to
+  // throw a bare asyrgs::Error from a call path documented as concurrency-
+  // safe.  Now shutdown() is an explicit, concurrency-safe operation and a
+  // racing ticket resolves to kRejected.  The queue is kept full so every
+  // racer submit is refused (queue-full before stop lands, shutting-down
+  // after) no matter how the timing falls; shutdown()'s drain (two slow
+  // solves on one 1-worker shard, hundreds of ms) overlaps the racer's
+  // burst, and the object outlives both threads — the destructor is not
+  // part of the race.
+  const CsrMatrix a = laplacian_2d(32, 32);
+  const std::vector<double> b = random_vector(a.rows(), 4);
+  ServiceOptions options;
+  options.shards = 1;
+  options.workers_per_shard = 1;
+  options.prepare_lsq = false;
+  options.max_queue = 1;
+  SolverService service(a, options);
+  SolveTicket busy = service.submit(b, slow_controls(8000));
+  ASSERT_TRUE(wait_for_in_flight(service, 1));
+  SolveTicket queued = service.submit(b, slow_controls(8000));
+
+  std::vector<SolveTicket> raced;
+  std::atomic<bool> raced_threw{false};
+  std::thread racer([&] {
+    try {
+      for (int i = 0; i < 3; ++i) {
+        raced.push_back(service.submit(b, slow_controls(2)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    } catch (...) {
+      raced_threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.shutdown();  // concurrent with the racer's submits
+  racer.join();
+
+  EXPECT_FALSE(raced_threw);  // the old contract gap: submit threw here
+  ASSERT_EQ(raced.size(), 3u);
+  for (SolveTicket& t : raced) {
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.wait().status, SolveStatus::kRejected);  // never hangs
+  }
+  EXPECT_EQ(busy.wait().status, SolveStatus::kBudgetCompleted);
+  EXPECT_EQ(queued.wait().status, SolveStatus::kBudgetCompleted);
+  // Idempotent: a second shutdown (and the destructor after it) is a no-op.
+  service.shutdown();
+}
+
+TEST(SolverService, StatsInvariantHoldsUnderConcurrentLoad) {
+  // stats() itself asserts submitted == completed + queued + in_flight
+  // under the service mutex (it throws on violation), so hammering it from
+  // a poller thread while clients submit through a tiny queue — forcing
+  // rejects, sheds, and normal completions to race — is the test.
+  const CsrMatrix a = laplacian_2d(12, 12);
+  ServiceOptions options;
+  options.shards = 2;
+  options.workers_per_shard = 1;
+  options.prepare_lsq = false;
+  options.max_queue = 2;
+  SolverService service(a, options);
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done) static_cast<void>(service.stats());
+  });
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 40;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        SolveControls controls;
+        controls.sweeps = 20;
+        controls.workers = 1;
+        controls.seed = static_cast<std::uint64_t>(c * kPerClient + r + 1);
+        RequestOptions request;
+        if (r % 5 == 4) request.deadline_seconds = 1e-9;  // instant expiry
+        static_cast<void>(service.submit(
+            random_vector(a.rows(), controls.seed), controls, request));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.drain();
+  done = true;
+  poller.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+  // Executed = completed minus refused; the shards' served counters and
+  // the latency histograms must both account for exactly those.
+  const long long executed =
+      stats.completed - stats.rejected - stats.shed_deadline;
+  long long served = 0;
+  for (const ShardStats& s : stats.shards) served += s.served;
+  EXPECT_EQ(served, executed);
+  EXPECT_EQ(static_cast<long long>(stats.latency.count()), executed);
+  EXPECT_LE(stats.queue_high_water, 2);  // max_queue was enforced
+}
+
+// --- (f) warm starts ---------------------------------------------------------
+
+TEST(SolverService, WarmStartConvergesInFewerSweepsOnPerturbedRhs) {
+  const CsrMatrix a = laplacian_2d(10, 10);
+  ServiceOptions options;
+  options.shards = 1;
+  options.workers_per_shard = 1;
+  options.prepare_lsq = true;
+  SolverService service(a, options);
+
+  SolveControls controls;
+  // Pin the asynchronous method: its sweep count under barrier-per-sweep is
+  // the direct "how much iteration did this take" measure (kAuto would
+  // route a 1e-8 target to FCG).
+  controls.method = SpdMethod::kAsyncRgs;
+  controls.workers = 1;
+  controls.sync = SyncMode::kBarrierPerSweep;
+  controls.rel_tol = 1e-8;
+  controls.sweeps = 100000;
+
+  // First solve: from zero, to tolerance.
+  const std::vector<double> b = random_vector(a.rows(), 5);
+  SolveTicket first = service.submit(b, controls);
+  ASSERT_EQ(first.wait().status, SolveStatus::kConverged);
+  const std::vector<double> x_prev = first.solution();
+
+  // The drifting-RHS re-solve: perturb b slightly, as a client streaming
+  // related systems would see.
+  std::vector<double> b2 = b;
+  for (std::size_t i = 0; i < b2.size(); ++i)
+    b2[i] += 1e-6 * static_cast<double>(i % 7);
+
+  SolveTicket cold = service.submit(b2, controls);
+  SolveTicket warm = service.submit(b2, x_prev, controls);
+  ASSERT_EQ(cold.wait().status, SolveStatus::kConverged);
+  ASSERT_EQ(warm.wait().status, SolveStatus::kConverged);
+  // Starting ~1e-6 from the answer instead of O(1) away must save sweeps.
+  EXPECT_LT(warm.wait().iterations, cold.wait().iterations);
+  EXPECT_GT(warm.wait().iterations, 0);
+
+  // Least-squares warm start through the same overload shape.
+  SolveControls lsq = controls;
+  lsq.step_size = 0.9;
+  lsq.rel_tol = 1e-6;
+  SolveTicket lsq_first = service.submit_least_squares(b, lsq);
+  ASSERT_EQ(lsq_first.wait().status, SolveStatus::kConverged);
+  SolveTicket lsq_cold = service.submit_least_squares(b2, lsq);
+  SolveTicket lsq_warm =
+      service.submit_least_squares(b2, lsq_first.solution(), lsq);
+  ASSERT_EQ(lsq_warm.wait().status, SolveStatus::kConverged);
+  EXPECT_LE(lsq_warm.wait().iterations, lsq_cold.wait().iterations);
+}
+
+TEST(SolverService, WarmStartValidatesIterateShapeEagerly) {
+  const CsrMatrix a = laplacian_2d(6, 6);
+  ServiceOptions options;
+  options.shards = 1;
+  options.prepare_lsq = true;
+  SolverService service(a, options);
+  const std::vector<double> b = random_vector(a.rows(), 6);
+  EXPECT_THROW(service.submit(b, std::vector<double>(3, 0.0)), Error);
+  EXPECT_THROW(
+      service.submit_least_squares(b, std::vector<double>(3, 0.0)), Error);
+}
+
+// --- (g) observability -------------------------------------------------------
+
+TEST(SolverService, ShardLatencyHistogramsAndWorkersSurface) {
+  const CsrMatrix a = laplacian_2d(12, 12);
+  ServiceOptions options;
+  options.shards = 2;
+  options.workers_per_shard = 2;
+  options.prepare_lsq = false;
+  SolverService service(a, options);
+
+  SolveControls controls;
+  controls.sweeps = 10;
+  controls.workers = 1;
+  const std::vector<double> b = random_vector(a.rows(), 7);
+  std::vector<SolveTicket> tickets;
+  for (int r = 0; r < 8; ++r) tickets.push_back(service.submit(b, controls));
+  for (SolveTicket& t : tickets) t.wait();
+  service.drain();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(static_cast<long long>(stats.latency.count()), 8);
+  EXPECT_GT(stats.latency.p50(), 0.0);
+  EXPECT_LE(stats.latency.p50(), stats.latency.p99());
+  EXPECT_GT(stats.latency.max_seconds(), 0.0);
+  std::uint64_t per_shard = 0;
+  for (const ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.workers, 2);
+    per_shard += s.latency.count();
+  }
+  EXPECT_EQ(per_shard, stats.latency.count());
+}
+
+TEST(SolverService, TraceSinkRecordsEveryRequestOutcome) {
+  const CsrMatrix a = laplacian_2d(16, 16);
+  auto trace_text = std::make_shared<std::ostringstream>();
+  ServiceOptions options;
+  options.shards = 1;
+  options.workers_per_shard = 1;
+  options.prepare_lsq = false;
+  options.max_queue = 1;
+  options.trace = std::make_shared<JsonTraceSink>(*trace_text);
+  SolverService service(a, options);
+  const std::vector<double> b = random_vector(a.rows(), 8);
+
+  SolveTicket busy = service.submit(b, slow_controls());
+  ASSERT_TRUE(wait_for_in_flight(service, 1));
+  SolveTicket queued = service.submit(b, slow_controls());
+  SolveTicket refused = service.submit(b, slow_controls());  // queue full
+  EXPECT_EQ(refused.wait().status, SolveStatus::kRejected);
+  service.drain();
+
+  // Three events: two executed, one rejected; rejected ones carry
+  // start_us = -1 (they never reached a shard).
+  const std::string log = trace_text->str();
+  std::size_t events = 0, rejected = 0, started = 0;
+  std::istringstream lines(log);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++events;
+    if (line.find("\"status\":\"rejected\"") != std::string::npos) {
+      ++rejected;
+      EXPECT_NE(line.find("\"start_us\":-1"), std::string::npos) << line;
+    } else if (line.find("\"start_us\":-1") == std::string::npos) {
+      ++started;
+    }
+  }
+  EXPECT_EQ(events, 3u) << log;
+  EXPECT_EQ(rejected, 1u) << log;
+  EXPECT_EQ(started, 2u) << log;
+}
+
+TEST(SolverService, AutoWorkerSizingLeavesNoCoreStranded) {
+  // The PR-5 truncation bug: hw/shards rounded down stranded hw % shards
+  // cores.  With auto sizing the shard pools must now sum to at least the
+  // hardware thread count whenever shards <= hw (each shard still gets at
+  // least one thread).
+  const CsrMatrix a = laplacian_2d(6, 6);
+  ServiceOptions options;
+  options.shards = 3;
+  options.workers_per_shard = 0;  // auto
+  options.prepare_lsq = false;
+  SolverService service(a, options);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.shards.size(), 3u);
+  int total = 0;
+  for (const ShardStats& s : stats.shards) {
+    EXPECT_GE(s.workers, 1);
+    total += s.workers;
+  }
+  if (hw >= 3) {
+    EXPECT_GE(total, hw);  // no truncation losses
+    // Remainder spreads one-by-one from shard 0: sizes differ by at most 1
+    // and are non-increasing.
+    for (std::size_t s = 1; s < stats.shards.size(); ++s) {
+      EXPECT_GE(stats.shards[s - 1].workers, stats.shards[s].workers);
+      EXPECT_LE(stats.shards[0].workers - stats.shards[s].workers, 1);
+    }
+  }
+  EXPECT_EQ(service.workers_per_shard(), stats.shards[0].workers);
 }
 
 }  // namespace

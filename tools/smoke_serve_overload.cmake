@@ -1,0 +1,87 @@
+# Overload serving smoke: drive asyrgs_serve in open-loop mode with a tiny
+# admission bound so some requests are rejected, then validate the JSON trace
+# it wrote — every line must parse, carry the expected fields, and at least
+# one request must have executed.  Uses CMake's string(JSON) (3.19+) so the
+# check needs no external JSON tooling.
+#
+# Expected -D inputs:
+#   ASYRGS_SERVE  path to the asyrgs_serve executable
+#   WORK_DIR      scratch directory for the trace file
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT ASYRGS_SERVE OR NOT WORK_DIR)
+  message(FATAL_ERROR "smoke_serve_overload: ASYRGS_SERVE and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(trace_file "${WORK_DIR}/trace.jsonl")
+
+# Offered load far above what one single-worker shard clears at 4000 sweeps
+# on the generated 24x24 Laplacian, with room for only one queued request:
+# the service must shed the excess as kRejected and still exit 0.
+execute_process(
+  COMMAND "${ASYRGS_SERVE}"
+    --shards 1 --threads-per-shard 1 --mix spd --sweeps 4000
+    --arrival-rate 200 --duration 0.5 --max-queue 1 --deadline 0.4
+    --trace "${trace_file}"
+  RESULT_VARIABLE serve_result
+  ERROR_VARIABLE serve_stderr)
+if(NOT serve_result EQUAL 0)
+  message(FATAL_ERROR "asyrgs_serve overload run failed (exit ${serve_result}):\n${serve_stderr}")
+endif()
+message(STATUS "asyrgs_serve report:\n${serve_stderr}")
+
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "trace file was not written: ${trace_file}")
+endif()
+file(STRINGS "${trace_file}" trace_lines)
+list(LENGTH trace_lines n_lines)
+if(n_lines LESS 2)
+  message(FATAL_ERROR "expected several trace lines, got ${n_lines}")
+endif()
+
+set(n_executed 0)
+set(n_rejected 0)
+foreach(line IN LISTS trace_lines)
+  # string(JSON) raises a fatal error on malformed JSON or a missing key,
+  # so each GET below is itself the assertion that the line is well-formed.
+  string(JSON type GET "${line}" type)
+  if(NOT type STREQUAL "request")
+    message(FATAL_ERROR "unexpected trace event type '${type}' in: ${line}")
+  endif()
+  string(JSON id GET "${line}" id)
+  string(JSON status GET "${line}" status)
+  string(JSON shard GET "${line}" shard)
+  string(JSON enqueue_us GET "${line}" enqueue_us)
+  string(JSON start_us GET "${line}" start_us)
+  string(JSON done_us GET "${line}" done_us)
+  if(id LESS 1)
+    message(FATAL_ERROR "trace ids are 1-based, got ${id}: ${line}")
+  endif()
+  if(done_us LESS enqueue_us)
+    message(FATAL_ERROR "done precedes enqueue: ${line}")
+  endif()
+  if(status STREQUAL "rejected")
+    # Never reached a shard: no start timestamp, no shard assignment.
+    if(NOT start_us EQUAL -1 OR NOT shard EQUAL -1)
+      message(FATAL_ERROR "rejected request has execution fields: ${line}")
+    endif()
+    math(EXPR n_rejected "${n_rejected} + 1")
+  else()
+    if(start_us LESS enqueue_us OR shard LESS 0)
+      message(FATAL_ERROR "executed request has bad start/shard: ${line}")
+    endif()
+    math(EXPR n_executed "${n_executed} + 1")
+  endif()
+endforeach()
+
+if(n_executed EQUAL 0)
+  message(FATAL_ERROR "no request executed — the service served nothing")
+endif()
+if(n_rejected EQUAL 0)
+  message(FATAL_ERROR "no request was shed at 200/s against 1 worker with "
+    "max_queue=1 — admission control did not engage")
+endif()
+message(STATUS "overload smoke OK: ${n_executed} executed, ${n_rejected} shed, "
+  "${n_lines} trace lines all parsed")
