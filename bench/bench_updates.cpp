@@ -192,8 +192,11 @@ struct Measurement {
   std::string workload;  // "gram_engine_bound" | "gram_scan_bound"
   std::string engine;    // "legacy" | "current"
   std::string mode;      // "free_running" | "barrier_residual" |
-                         // "prepare_amortization" | "serving_throughput"
+                         // "prepare_amortization" | "serving_throughput" |
+                         // "storage_policy" | "block_small_k"
   std::string scan;      // "pinned" | "reassociated" (legacy is always pinned)
+  std::string storage;   // CSR policy the row's kernels ran against (v7):
+                         // "int64_double" | "int32_double" | "int32_mixed"
   int workers = 0;
   long long updates = 0;
   double seconds = 0.0;
@@ -204,6 +207,17 @@ struct Measurement {
   std::string family;  // prepare_amortization rows: "spd" | "lsq"
   int shards = 0;                   // serving_throughput rows only
   double solves_per_second = 0.0;   // serving_throughput rows only
+  int block_k = 0;                  // block_small_k rows only: rhs count
+};
+
+/// One storage-policy comparison (schema v7): prepared-handle updates/second
+/// under each CSR storage policy, per workload and scan mode, at 1 worker.
+struct StoragePoint {
+  std::string workload;
+  std::string scan;
+  double int64_ups = 0.0;
+  double int32_ups = 0.0;
+  double mixed_ups = 0.0;
 };
 
 /// Cold-vs-prepared solve latency for one solver family (schema v4; the
@@ -359,6 +373,10 @@ int main(int argc, char** argv) {
 
   AmortizationPoint amor_spd, amor_lsq;
   const int amor_sweeps = *smoke ? 2 : 4;
+  std::vector<StoragePoint> storage_points;
+  double block_pinned_ups = 0.0, block_reassoc_ups = 0.0;
+  std::string block_scan_executed = "pinned";
+  const int block_k = 4;  // widest count the reassociated block kernel serves
   std::vector<ServingPoint> serving;
   OverloadPoint overload;
   const int serve_requests = *smoke ? 8 : 40;
@@ -375,6 +393,12 @@ int main(int argc, char** argv) {
     spec.n = n;
     spec.nnz = a.nnz();
     const std::vector<double> b = random_vector(n, 7);
+    // What the current engine's prepared handles resolve by default: kAuto
+    // narrows to int32/double whenever the shape fits (it does for every
+    // bench workload).  The legacy engine predates the policies and always
+    // reads the bound full-width matrix.
+    const char* const auto_storage =
+        to_string(resolve_storage_policy(StorageMode::kAuto, a.cols()));
 
     const auto time_run = [&](auto&& fn) {
       double best = 1e300;
@@ -419,6 +443,7 @@ int main(int argc, char** argv) {
         m.mode = "free_running";
         m.scan =
             row.scan == ScanMode::kReassociated ? "reassociated" : "pinned";
+        m.storage = row.current ? auto_storage : "int64_double";
         m.workers = workers;
         m.updates = static_cast<long long>(n_sweeps) * n;
         m.seconds = secs;
@@ -456,6 +481,7 @@ int main(int argc, char** argv) {
         m.engine = current ? "current" : "legacy";
         m.mode = "barrier_residual";
         m.scan = "pinned";
+        m.storage = current ? auto_storage : "int64_double";
         m.workers = workers;
         m.updates = static_cast<long long>(n_sweeps) * n;
         m.seconds = secs_tracked;
@@ -469,6 +495,130 @@ int main(int argc, char** argv) {
                                      static_cast<double>(m.updates),
                                  1),
                        fmt_sci(m.residual_cost_per_sweep)});
+      }
+    }
+
+    // --- storage-policy sweep (schema v7) --------------------------------
+    // Updates/second of the prepared handle under each CSR storage policy,
+    // both scan modes, at 1 worker (isolating the kernel's memory stream
+    // from scheduling noise).  int32 halves the index bytes of every row
+    // scan; mixed additionally halves the value bytes (accumulation stays
+    // double) — docs/TUNING.md explains when each wins.
+    {
+      struct PolicyRun {
+        StorageMode mode;
+        const char* name;
+      };
+      for (const PolicyRun policy :
+           {PolicyRun{StorageMode::kInt64Double, "int64_double"},
+            PolicyRun{StorageMode::kInt32Double, "int32_double"},
+            PolicyRun{StorageMode::kInt32Mixed, "int32_mixed"}}) {
+        SpdProblem handle(pool, a, /*check_input=*/false, policy.mode);
+        for (const ScanMode scan :
+             {ScanMode::kPinned, ScanMode::kReassociated}) {
+          SolveControls sc;
+          sc.method = SpdMethod::kAsyncRgs;
+          sc.sweeps = n_sweeps;
+          sc.workers = 1;
+          sc.seed = 1;
+          sc.scan = scan;
+          const double secs = time_run([&](std::vector<double>& x) {
+            return handle.solve(b, x, sc).seconds;
+          });
+          Measurement m;
+          m.workload = spec.name;
+          m.engine = "current";
+          m.mode = "storage_policy";
+          m.scan = scan == ScanMode::kReassociated ? "reassociated" : "pinned";
+          m.storage = policy.name;
+          m.workers = 1;
+          m.updates = static_cast<long long>(n_sweeps) * n;
+          m.seconds = secs;
+          m.updates_per_second = static_cast<double>(m.updates) / secs;
+          results.push_back(m);
+          table.add_row({spec.name, "1", "current",
+                         std::string("storage/") + policy.name, m.scan,
+                         fmt_sci(m.updates_per_second),
+                         fmt_fixed(1e9 * secs / static_cast<double>(m.updates),
+                                   1),
+                         "-"});
+          auto point = std::find_if(
+              storage_points.begin(), storage_points.end(),
+              [&](const StoragePoint& p) {
+                return p.workload == spec.name && p.scan == m.scan;
+              });
+          if (point == storage_points.end()) {
+            storage_points.push_back(StoragePoint{spec.name, m.scan});
+            point = storage_points.end() - 1;
+          }
+          if (policy.mode == StorageMode::kInt64Double)
+            point->int64_ups = m.updates_per_second;
+          else if (policy.mode == StorageMode::kInt32Double)
+            point->int32_ups = m.updates_per_second;
+          else
+            point->mixed_ups = m.updates_per_second;
+        }
+      }
+    }
+
+    // --- reassociated block kernel at k <= 4 (headline workload only) ----
+    // Until PR 7 the block solver silently ran the pinned column-parallel
+    // scan for every width; blocks of k <= 4 right-hand sides now dispatch
+    // the register-resident reassociated kernel.  This point measures it —
+    // and refuses to record a pinned run where a reassociated one was
+    // requested, so the JSON can never claim a win the kernels didn't take.
+    if (spec.name == workloads.front().name) {
+      MultiVector block_b(n, block_k);
+      for (index_t col = 0; col < block_k; ++col)
+        block_b.set_column(
+            col, random_vector(n, 500 + static_cast<std::uint64_t>(col)));
+      SpdProblem handle(pool, a, /*check_input=*/false);
+      const int block_sweeps = std::max(1, n_sweeps / block_k);
+      for (const ScanMode scan : {ScanMode::kPinned, ScanMode::kReassociated}) {
+        SolveControls sc;
+        sc.sweeps = block_sweeps;
+        sc.workers = 1;
+        sc.seed = 1;
+        sc.scan = scan;
+        double best = 1e300;
+        std::string executed;
+        for (int rep = 0; rep < n_repeats; ++rep) {
+          MultiVector x(n, block_k);
+          const SolveOutcome out = handle.solve(block_b, x, sc);
+          best = std::min(best, out.seconds);
+          executed = out.scan_executed == ScanMode::kReassociated
+                         ? "reassociated"
+                         : "pinned";
+        }
+        if (scan == ScanMode::kReassociated && executed != "reassociated") {
+          std::cerr << "block_small_k: reassociated scan requested at k="
+                    << block_k << " but the kernels ran " << executed << "\n";
+          return 1;
+        }
+        Measurement m;
+        m.workload = spec.name;
+        m.engine = "current";
+        m.mode = "block_small_k";
+        m.scan = executed;
+        m.storage = auto_storage;
+        m.workers = 1;
+        m.block_k = block_k;
+        m.updates = static_cast<long long>(block_sweeps) * n;
+        m.seconds = best;
+        m.updates_per_second = static_cast<double>(m.updates) / best;
+        results.push_back(m);
+        table.add_row({spec.name, "1", "current",
+                       "block_k" + std::to_string(block_k), executed,
+                       fmt_sci(m.updates_per_second),
+                       fmt_fixed(1e9 * best / static_cast<double>(m.updates),
+                                 1),
+                       "-"});
+        if (scan == ScanMode::kReassociated) {
+          block_reassoc_ups = m.updates_per_second;
+          block_scan_executed = executed;
+        } else {
+          block_pinned_ups = m.updates_per_second;
+        }
       }
     }
 
@@ -518,6 +668,7 @@ int main(int argc, char** argv) {
           m.engine = "current";
           m.mode = "prepare_amortization";
           m.scan = "pinned";
+          m.storage = auto_storage;
           m.workers = 1;
           m.updates = updates_per_solve;
           m.seconds = row.seconds;
@@ -687,6 +838,7 @@ int main(int argc, char** argv) {
           m.engine = "current";
           m.mode = "serving_throughput";
           m.scan = "pinned";
+          m.storage = auto_storage;
           m.workers = 1;
           m.shards = shard_count;
           m.updates = static_cast<long long>(serve_requests) *
@@ -816,6 +968,33 @@ int main(int argc, char** argv) {
             << " reassociated=" << fmt_sci(scan_reassoc_ups)
             << " speedup=" << fmt_fixed(scan_speedup, 2) << "x\n";
 
+  // --- storage headline ----------------------------------------------------
+  // Per-policy prepared-handle throughput on both Gram regimes (reassociated
+  // scan shown; the pinned rows are in results[]).  int32 speedup is pure
+  // index-bandwidth; mixed adds the value-bandwidth halving.
+  for (const StoragePoint& p : storage_points) {
+    if (p.scan != "reassociated") continue;
+    std::cout << "# storage headline (" << p.workload
+              << ", free-running, 1 worker, " << p.scan
+              << " scan): int64_double=" << fmt_sci(p.int64_ups)
+              << " int32_double=" << fmt_sci(p.int32_ups) << " ("
+              << fmt_fixed(p.int64_ups > 0 ? p.int32_ups / p.int64_ups : 0.0,
+                           2)
+              << "x) int32_mixed=" << fmt_sci(p.mixed_ups) << " ("
+              << fmt_fixed(p.int64_ups > 0 ? p.mixed_ups / p.int64_ups : 0.0,
+                           2)
+              << "x)\n";
+  }
+
+  // --- block small-k headline ----------------------------------------------
+  const double block_speedup =
+      block_pinned_ups > 0.0 ? block_reassoc_ups / block_pinned_ups : 0.0;
+  std::cout << "# block headline (" << headline_workload << ", k=" << block_k
+            << ", 1 worker): pinned=" << fmt_sci(block_pinned_ups)
+            << " reassociated=" << fmt_sci(block_reassoc_ups)
+            << " row-updates/s (executed: " << block_scan_executed
+            << ", speedup " << fmt_fixed(block_speedup, 2) << "x)\n";
+
   // --- prepare-amortization headline ---------------------------------------
   // Cold (construct-and-solve, the one-shot API's cost profile) vs prepared
   // (solve on a pre-built handle), per solve, at a serving-sized sweep
@@ -880,7 +1059,7 @@ int main(int argc, char** argv) {
       (*out_path).empty() ? "BENCH_" + *label + ".json" : *out_path;
   std::ofstream json(path);
   json << "{\n"
-       << "  \"schema_version\": 6,\n"
+       << "  \"schema_version\": 7,\n"
        << "  \"bench\": \"bench_updates\",\n"
        << "  \"label\": \"" << json_escape(*label) << "\",\n"
        << "  \"git\": \"" << json_escape(*git_rev) << "\",\n"
@@ -905,10 +1084,12 @@ int main(int argc, char** argv) {
     const Measurement& m = results[i];
     json << "    {\"workload\": \"" << m.workload << "\", \"engine\": \""
          << m.engine << "\", \"mode\": \"" << m.mode << "\", \"scan\": \""
-         << m.scan << "\", \"workers\": " << m.workers
+         << m.scan << "\", \"storage\": \"" << m.storage
+         << "\", \"workers\": " << m.workers
          << ", \"updates\": " << m.updates
          << ", \"seconds\": " << m.seconds
          << ", \"updates_per_second\": " << m.updates_per_second;
+    if (m.mode == "block_small_k") json << ", \"block_k\": " << m.block_k;
     if (m.mode == "barrier_residual")
       json << ", \"residual_cost_per_sweep_seconds\": "
            << m.residual_cost_per_sweep;
@@ -931,6 +1112,27 @@ int main(int argc, char** argv) {
        << ", \"pinned_updates_per_second\": " << scan_pinned_ups
        << ", \"reassociated_updates_per_second\": " << scan_reassoc_ups
        << ", \"speedup\": " << scan_speedup << "},\n"
+       << "  \"storage_headline\": [\n";
+  for (std::size_t i = 0; i < storage_points.size(); ++i) {
+    const StoragePoint& p = storage_points[i];
+    json << "    {\"workload\": \"" << p.workload << "\", \"scan\": \""
+         << p.scan << "\", \"workers\": 1"
+         << ", \"int64_double_updates_per_second\": " << p.int64_ups
+         << ", \"int32_double_updates_per_second\": " << p.int32_ups
+         << ", \"int32_mixed_updates_per_second\": " << p.mixed_ups
+         << ", \"int32_speedup\": "
+         << (p.int64_ups > 0.0 ? p.int32_ups / p.int64_ups : 0.0)
+         << ", \"mixed_speedup\": "
+         << (p.int64_ups > 0.0 ? p.mixed_ups / p.int64_ups : 0.0) << "}"
+         << (i + 1 < storage_points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"block_headline\": {\"workload\": \"" << headline_workload
+       << "\", \"block_k\": " << block_k << ", \"workers\": 1"
+       << ", \"scan_executed\": \"" << block_scan_executed << "\""
+       << ", \"pinned_updates_per_second\": " << block_pinned_ups
+       << ", \"reassociated_updates_per_second\": " << block_reassoc_ups
+       << ", \"speedup\": " << block_speedup << "},\n"
        << "  \"prepare_amortization\": {\"workload\": \"" << headline_workload
        << "\", \"mode\": \"free_running\", \"workers\": 1"
        << ", \"sweeps\": " << amor_sweeps << ",\n"

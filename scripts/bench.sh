@@ -44,9 +44,9 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
 
 echo "bench.sh: wrote BENCH_${label}.json"
 
-# Side-by-side scan-mode, prepare-amortization, serving-throughput, and
-# overload summaries (schema v6: docs/TUNING.md).  Best effort — the JSON is
-# the artifact; these lines are for the terminal.
+# Side-by-side scan-mode, storage-policy, block-kernel, prepare-amortization,
+# serving-throughput, and overload summaries (schema v7: docs/TUNING.md).
+# Best effort — the JSON is the artifact; these lines are for the terminal.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "BENCH_${label}.json" <<'PYEOF'
 import json, sys
@@ -57,6 +57,22 @@ if s:
           "reassociated=%.3g upd/s speedup=%.2fx"
           % (s["workload"], s["pinned_updates_per_second"],
              s["reassociated_updates_per_second"], s["speedup"]))
+for t in d.get("storage_headline", []):
+    if t["scan"] != "reassociated":
+        continue
+    print("bench.sh: storage (%s, 1 worker, %s scan): int64=%.3g "
+          "int32=%.3g (%.2fx) mixed=%.3g (%.2fx) upd/s"
+          % (t["workload"], t["scan"],
+             t["int64_double_updates_per_second"],
+             t["int32_double_updates_per_second"], t["int32_speedup"],
+             t["int32_mixed_updates_per_second"], t["mixed_speedup"]))
+k = d.get("block_headline")
+if k:
+    print("bench.sh: block k=%d (%s, 1 worker, executed %s): pinned=%.3g "
+          "reassociated=%.3g row-upd/s speedup=%.2fx"
+          % (k["block_k"], k["workload"], k["scan_executed"],
+             k["pinned_updates_per_second"],
+             k["reassociated_updates_per_second"], k["speedup"]))
 p = d.get("prepare_amortization")
 if p:
     for fam in ("spd", "lsq"):

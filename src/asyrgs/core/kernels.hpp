@@ -7,6 +7,13 @@
 // one place; like core/engine.hpp, nothing in asyrgs::detail is a stable
 // public API.
 //
+// Every functor is templated over the CSR storage policy (Index, Value) with
+// full-width defaults, so the prepared handles can run the identical update
+// logic against CsrMatrix, CsrMatrix32, or CsrMatrixMixed; accumulation is
+// double for every policy (a Value promotes at the multiply).  Call sites
+// deduce the policy from the matrix argument (CTAD for the residual classes,
+// explicit arguments for the aggregate update functors).
+//
 // Residual functors borrow their TeamReduce (barrier + partial slots) from
 // the caller instead of owning one, so a prepared handle can keep the
 // reduction scratch alive across solves.
@@ -47,23 +54,25 @@ inline void pack_rhs_diag(const std::vector<double>& b,
 /// the hot loop carries no per-update branch and the pinned path compiles to
 /// exactly the pre-ScanMode code.  Pinned: relaxed-atomic reads of x, one
 /// subtraction per nonzero in column order — identical arithmetic to the
-/// sequential solver, so a one-worker run reproduces it bit for bit.
-/// Reassociated: the multi-accumulator/SIMD kernel from sparse/csr.hpp with
-/// plain vector reads of x (see the contract there); the write path is
-/// unchanged.
-template <bool kAtomicWrites, ScanMode kScan>
+/// sequential solver, so a one-worker run reproduces it bit for bit (and,
+/// because values stay double, identically across the int64/int32 index
+/// policies).  Reassociated: the multi-accumulator/SIMD kernel from
+/// sparse/csr.hpp with plain vector reads of x (see the contract there); the
+/// write path is unchanged.
+template <bool kAtomicWrites, ScanMode kScan, class Index = index_t,
+          class Value = double>
 struct SingleRhsUpdate {
   const nnz_t* row_ptr;
-  const index_t* cols;
-  const double* vals;
+  const Index* cols;
+  const Value* vals;
   const RhsDiagPair* rhs_diag;
   double* x;
   double beta;
 
   void operator()(int, index_t r, index_t r_ahead) const noexcept {
     const nnz_t* __restrict rp = row_ptr;
-    const index_t* __restrict ci = cols;
-    const double* __restrict av = vals;
+    const Index* __restrict ci = cols;
+    const Value* __restrict av = vals;
     const RhsDiagPair* __restrict bd = rhs_diag;
     // The direction buffer makes the future known: pull an upcoming row's
     // constants and the head of its index/value arrays into cache while this
@@ -92,9 +101,11 @@ struct SingleRhsUpdate {
 
 /// One asynchronous update applied to every column of the block iterate.
 /// `gamma` is per-worker scratch of k doubles (cache-line separated slab).
-template <bool kAtomicWrites>
+/// Pinned-scan association: one subtraction per nonzero per column, in
+/// column order — the block analogue of SingleRhsUpdate's pinned path.
+template <bool kAtomicWrites, class Index = index_t, class Value = double>
 struct BlockRhsUpdate {
-  const CsrMatrix* a;
+  const CsrMatrixT<Index, Value>* a;
   const MultiVector* b;
   MultiVector* x;
   const double* inv_diag;
@@ -130,13 +141,78 @@ struct BlockRhsUpdate {
   }
 };
 
+/// Reassociated block update for compile-time small column counts (K <= 4).
+/// The generic BlockRhsUpdate reads X with relaxed-atomic loads and walks
+/// one gamma chain per column; at small K the whole gamma state fits in
+/// registers, so this kernel keeps two accumulator sets per column and
+/// unrolls the nonzero loop by two — the same pipelining trade as the
+/// single-RHS multi-accumulator scan, which is why it carries the
+/// ScanMode::kReassociated contract: plain vector reads of the shared
+/// iterate (naturally aligned 8-byte loads cannot tear; see sparse/csr.hpp)
+/// and a K-independent, unspecified reduction order.  Dispatched by
+/// SpdProblem::solve(block) when the caller requests the reassociated scan
+/// and k <= 4; larger blocks keep the pinned kernel (gamma no longer fits,
+/// and the column loop already pipelines).
+template <bool kAtomicWrites, int K, class Index = index_t,
+          class Value = double>
+struct BlockRhsUpdateSmallK {
+  static_assert(K >= 1 && K <= 4, "BlockRhsUpdateSmallK: K must be 1..4");
+
+  const CsrMatrixT<Index, Value>* a;
+  const MultiVector* b;
+  MultiVector* x;
+  const double* inv_diag;
+  double beta;
+
+  void operator()(int, index_t r, index_t r_ahead) const noexcept {
+    __builtin_prefetch(x->row(r_ahead));
+    __builtin_prefetch(b->row(r_ahead));
+    const double* b_row = b->row(r);
+    double g0[K];
+    double g1[K];
+    for (int c = 0; c < K; ++c) {
+      g0[c] = b_row[c];
+      g1[c] = 0.0;
+    }
+    const auto cols = a->row_cols(r);
+    const auto vals = a->row_vals(r);
+    std::size_t t = 0;
+    for (; t + 2 <= cols.size(); t += 2) {
+      const double a0 = vals[t];
+      const double a1 = vals[t + 1];
+      const double* __restrict x0 = x->row(cols[t]);
+      const double* __restrict x1 = x->row(cols[t + 1]);
+      for (int c = 0; c < K; ++c) {
+        g0[c] -= a0 * x0[c];
+        g1[c] -= a1 * x1[c];
+      }
+    }
+    if (t < cols.size()) {
+      const double a0 = vals[t];
+      const double* __restrict x0 = x->row(cols[t]);
+      for (int c = 0; c < K; ++c) g0[c] -= a0 * x0[c];
+    }
+    const double inv = inv_diag[r];
+    double* xr = x->row(r);
+    for (int c = 0; c < K; ++c) {
+      const double delta = beta * ((g0[c] + g1[c]) * inv);
+      if constexpr (kAtomicWrites)
+        atomic_add_relaxed(xr[c], delta);
+      else
+        racy_add(xr[c], delta);
+    }
+  }
+};
+
 /// ||b - A x|| / ||b|| evaluated as a team-parallel reduction over the
 /// workers rendezvoused at the synchronization barrier (the denominator is
 /// constant and precomputed).
+template <class Index = index_t, class Value = double>
 class SingleRhsResidual {
  public:
-  SingleRhsResidual(const CsrMatrix& a, const std::vector<double>& b,
-                    const double* x, int workers, TeamReduce& reduce)
+  SingleRhsResidual(const CsrMatrixT<Index, Value>& a,
+                    const std::vector<double>& b, const double* x, int workers,
+                    TeamReduce& reduce)
       : a_(a),
         b_(b),
         x_(x),
@@ -171,7 +247,7 @@ class SingleRhsResidual {
   }
 
  private:
-  const CsrMatrix& a_;
+  const CsrMatrixT<Index, Value>& a_;
   const std::vector<double>& b_;
   const double* x_;
   TeamReduce& reduce_;
@@ -180,10 +256,11 @@ class SingleRhsResidual {
 };
 
 /// ||B - A X||_F / ||B||_F, team-parallel over rows.
+template <class Index = index_t, class Value = double>
 class BlockResidual {
  public:
-  BlockResidual(const CsrMatrix& a, const MultiVector& b, const MultiVector& x,
-                int workers, TeamReduce& reduce)
+  BlockResidual(const CsrMatrixT<Index, Value>& a, const MultiVector& b,
+                const MultiVector& x, int workers, TeamReduce& reduce)
       : a_(a),
         b_(b),
         x_(x),
@@ -224,7 +301,7 @@ class BlockResidual {
   }
 
  private:
-  const CsrMatrix& a_;
+  const CsrMatrixT<Index, Value>& a_;
   const MultiVector& b_;
   const MultiVector& x_;
   TeamReduce& reduce_;
@@ -238,10 +315,11 @@ class BlockResidual {
 /// r_i = b_i - A_i x row scans are this kernel's dominant FP cost, so
 /// ScanMode::kReassociated routes them through the multi-accumulator/SIMD
 /// kernel (plain vector reads of the shared iterate; see sparse/csr.hpp).
-template <bool kAtomicWrites, ScanMode kScan>
+template <bool kAtomicWrites, ScanMode kScan, class Index = index_t,
+          class Value = double>
 struct LsqUpdate {
-  const CsrMatrix* a;
-  const CsrMatrix* at;
+  const CsrMatrixT<Index, Value>* a;
+  const CsrMatrixT<Index, Value>* at;
   const double* b;
   const double* col_sq;
   double* x;
@@ -286,11 +364,13 @@ struct LsqUpdate {
 /// denominator ||A^T b|| is an invariant of the run and computed once at
 /// construction; `r` is caller-provided scratch of a.rows() doubles so a
 /// prepared handle re-uses the buffer across solves.
+template <class Index = index_t, class Value = double>
 class LsqResidual {
  public:
-  LsqResidual(const CsrMatrix& a, const CsrMatrix& at,
-              const std::vector<double>& b, const double* x, int workers,
-              TeamReduce& reduce, double* r, bool enabled)
+  LsqResidual(const CsrMatrixT<Index, Value>& a,
+              const CsrMatrixT<Index, Value>& at, const std::vector<double>& b,
+              const double* x, int workers, TeamReduce& reduce, double* r,
+              bool enabled)
       : a_(a),
         at_(at),
         b_(b),
@@ -349,8 +429,8 @@ class LsqResidual {
   }
 
  private:
-  const CsrMatrix& a_;
-  const CsrMatrix& at_;
+  const CsrMatrixT<Index, Value>& a_;
+  const CsrMatrixT<Index, Value>& at_;
   const std::vector<double>& b_;
   const double* x_;
   TeamReduce& reduce_;
@@ -359,8 +439,10 @@ class LsqResidual {
   double denom_ = 0.0;
 };
 
-/// Squared Euclidean norms of the columns of A, read off the rows of A^T.
-inline std::vector<double> column_sq_norms(const CsrMatrix& at) {
+/// Squared Euclidean norms of the columns of A, read off the rows of A^T
+/// (double accumulation for every storage policy).
+template <class Index, class Value>
+inline std::vector<double> column_sq_norms(const CsrMatrixT<Index, Value>& at) {
   std::vector<double> sq(static_cast<std::size_t>(at.rows()), 0.0);
   for (index_t j = 0; j < at.rows(); ++j) {
     double acc = 0.0;

@@ -47,13 +47,24 @@ struct SocialGramOptions {
 };
 
 /// The generated system: A = F^T F + ridge*I and the factor F itself.
-struct SocialGram {
-  CsrMatrix gram;    ///< n x n SPD Gram matrix (non-unit diagonal)
-  CsrMatrix factor;  ///< m x n document-term matrix F
+template <class Index, class Value>
+struct SocialGramT {
+  CsrMatrixT<Index, Value> gram;    ///< n x n SPD Gram matrix
+  CsrMatrixT<Index, Value> factor;  ///< m x n document-term matrix F
 };
+using SocialGram = SocialGramT<std::int64_t, double>;
 
 /// Generates the corpus and assembles the Gram matrix exactly (duplicate
 /// co-occurrences summed).
 [[nodiscard]] SocialGram make_social_gram(const SocialGramOptions& opt);
+
+/// Policy-aware variant assembling directly at the target width.  Entries
+/// are sums of products of small integer term frequencies — exact in float
+/// far beyond any realistic corpus — so every policy generates the same
+/// matrix up to storage width.  (Defined in gram.cpp, instantiated for the
+/// three supported policies.)
+template <class Index, class Value>
+[[nodiscard]] SocialGramT<Index, Value> make_social_gram_as(
+    const SocialGramOptions& opt);
 
 }  // namespace asyrgs

@@ -1,5 +1,7 @@
 #include "asyrgs/problem.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <utility>
 
 #include "asyrgs/core/engine.hpp"
@@ -117,6 +119,47 @@ const char* to_string(SolveStatus status) noexcept {
   return "?";
 }
 
+const char* to_string(StorageMode mode) noexcept {
+  switch (mode) {
+    case StorageMode::kAuto:
+      return "auto";
+    case StorageMode::kInt64Double:
+      return "int64_double";
+    case StorageMode::kInt32Double:
+      return "int32_double";
+    case StorageMode::kInt32Mixed:
+      return "int32_mixed";
+  }
+  return "?";
+}
+
+StoragePolicy resolve_storage_policy(StorageMode mode, index_t max_index,
+                                     bool* fell_back) noexcept {
+  if (fell_back != nullptr) *fell_back = false;
+  const bool fits = index_width_fits<std::int32_t>(max_index);
+  switch (mode) {
+    case StorageMode::kInt64Double:
+      return StoragePolicy::kInt64Double;
+    case StorageMode::kAuto:
+      // Narrowing is free of arithmetic consequences for the double-value
+      // policies (pinned-scan results stay bit-identical), so auto always
+      // takes the bandwidth win when the shape allows it.
+      return fits ? StoragePolicy::kInt32Double : StoragePolicy::kInt64Double;
+    case StorageMode::kInt32Double:
+      if (fits) return StoragePolicy::kInt32Double;
+      break;
+    case StorageMode::kInt32Mixed:
+      if (fits) return StoragePolicy::kInt32Mixed;
+      break;
+  }
+  // Explicit narrow request on a shape the index width cannot address:
+  // serve full width rather than failing — the caller asked for a
+  // performance policy, not a shape constraint.  Surfaced via *fell_back /
+  // ProblemStats::storage_fallbacks.
+  if (fell_back != nullptr) *fell_back = true;
+  return StoragePolicy::kInt64Double;
+}
+
 SolveControls to_controls(const AsyncRgsOptions& options) {
   SolveControls c;
   c.method = SpdMethod::kAsyncRgs;
@@ -152,7 +195,8 @@ AsyncRgsOptions to_async_rgs_options(const SolveControls& controls) {
 
 // --- SpdProblem --------------------------------------------------------------
 
-SpdProblem::SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input)
+SpdProblem::SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input,
+                       StorageMode storage)
     : pool_(pool),
       a_(a),
       scratch_(std::make_unique<detail::ProblemScratch>()) {
@@ -174,13 +218,35 @@ SpdProblem::SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input)
     require(a.equals(*at, 1e-12 * inf_norm(a)),
             "SpdProblem: matrix is not symmetric");
   }
+  // Narrowing happens last, after validation passed, so a rejected matrix
+  // never pays the compact copy.  Reciprocals above were taken from the
+  // full-width diagonal — the narrow kernels read the matrix values narrow
+  // but the update constants at full precision.
+  bool fell_back = false;
+  storage_ = resolve_storage_policy(storage, a.cols(), &fell_back);
+  if (fell_back) ++stats_.storage_fallbacks;
+  if (storage_ == StoragePolicy::kInt32Double)
+    a32_ = std::make_shared<const CsrMatrix32>(
+        convert_storage<std::int32_t, double>(a));
+  else if (storage_ == StoragePolicy::kInt32Mixed)
+    amixed_ = std::make_shared<const CsrMatrixMixed>(
+        convert_storage<std::int32_t, float>(a));
+  stats_.storage = storage_;
 }
 
 SpdProblem::SpdProblem(ThreadPool& pool, const SpdProblem& other)
     : pool_(pool),
       a_(other.a_),
+      a32_(other.a32_),
+      amixed_(other.amixed_),
+      storage_(other.storage_),
       inv_diag_(other.inv_diag_),
-      scratch_(std::make_unique<detail::ProblemScratch>()) {}
+      scratch_(std::make_unique<detail::ProblemScratch>()) {
+  // The compact copy is aliased, not rebuilt — the shard-clone contract
+  // (analysis once per service) extends to the narrowing pass.
+  stats_.storage = storage_;
+  stats_.storage_fallbacks = other.stats_.storage_fallbacks;
+}
 
 SpdProblem::~SpdProblem() = default;
 
@@ -217,9 +283,27 @@ SolveOutcome SpdProblem::solve(const std::vector<double>& b,
 SolveOutcome SpdProblem::solve_async_single(const std::vector<double>& b,
                                             std::vector<double>& x,
                                             const SolveControls& controls) {
+  switch (storage_) {
+    case StoragePolicy::kInt32Double:
+      return solve_async_single_on(*a32_, b, x, controls);
+    case StoragePolicy::kInt32Mixed:
+      return solve_async_single_on(*amixed_, b, x, controls);
+    case StoragePolicy::kInt64Double:
+      break;
+  }
+  return solve_async_single_on(a_, b, x, controls);
+}
+
+template <class Matrix>
+SolveOutcome SpdProblem::solve_async_single_on(const Matrix& a,
+                                               const std::vector<double>& b,
+                                               std::vector<double>& x,
+                                               const SolveControls& controls) {
+  using Index = typename Matrix::index_type;
+  using Value = typename Matrix::value_type;
   const AsyncRgsOptions options = to_async_rgs_options(controls);
   validate_async_controls(options, "SpdProblem::solve");
-  const index_t n = a_.rows();
+  const index_t n = a.rows();
   const double beta = options.step_size;
   const int workers = clamp_workers(options.workers, pool_);
 
@@ -228,14 +312,14 @@ SolveOutcome SpdProblem::solve_async_single(const std::vector<double>& b,
   report.scan_used = options.scan;
 
   detail::pack_rhs_diag(b, inv_diag_, scratch_->rhs_diag);
-  detail::SingleRhsResidual residual(a_, b, x.data(), workers,
+  detail::SingleRhsResidual residual(a, b, x.data(), workers,
                                      scratch_->engine.reduce(workers));
 
   WallTimer timer;
   detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
-    const detail::SingleRhsUpdate<kAtomic, kScan> update{
-        a_.row_ptr().data(),       a_.col_idx().data(), a_.values().data(),
-        scratch_->rhs_diag.data(), x.data(),            beta};
+    const detail::SingleRhsUpdate<kAtomic, kScan, Index, Value> update{
+        a.row_ptr().data(),        a.col_idx().data(), a.values().data(),
+        scratch_->rhs_diag.data(), x.data(),           beta};
     detail::run_engine(pool_, options, n, workers, update, residual, report,
                        &scratch_->engine);
   });
@@ -244,8 +328,13 @@ SolveOutcome SpdProblem::solve_async_single(const std::vector<double>& b,
   std::string description = std::string("AsyRGS, ") +
                             std::to_string(workers) + " threads, " +
                             sync_name(options.sync);
-  return outcome_from_report(std::move(report), options,
-                             std::move(description));
+  if constexpr (Matrix::kStorage != StoragePolicy::kInt64Double)
+    description += std::string(", ") + to_string(Matrix::kStorage) +
+                   " storage";
+  SolveOutcome out = outcome_from_report(std::move(report), options,
+                                         std::move(description));
+  out.storage_used = Matrix::kStorage;
+  return out;
 }
 
 SolveOutcome SpdProblem::solve_krylov(const std::vector<double>& b,
@@ -308,45 +397,102 @@ SolveOutcome SpdProblem::solve(const MultiVector& b, MultiVector& x,
               controls.method == SpdMethod::kAsyncRgs,
           "SpdProblem::solve(block): only the asynchronous method supports "
           "block right-hand sides");
+  SolveOutcome out;
+  switch (storage_) {
+    case StoragePolicy::kInt32Double:
+      out = solve_block_on(*a32_, b, x, controls);
+      break;
+    case StoragePolicy::kInt32Mixed:
+      out = solve_block_on(*amixed_, b, x, controls);
+      break;
+    case StoragePolicy::kInt64Double:
+      out = solve_block_on(a_, b, x, controls);
+      break;
+  }
+  out.method_used = SpdMethod::kAsyncRgs;
+  ++stats_.solves;
+  return out;
+}
+
+template <class Matrix>
+SolveOutcome SpdProblem::solve_block_on(const Matrix& a, const MultiVector& b,
+                                        MultiVector& x,
+                                        const SolveControls& controls) {
+  using Index = typename Matrix::index_type;
+  using Value = typename Matrix::value_type;
   const AsyncRgsOptions options = to_async_rgs_options(controls);
   validate_async_controls(options, "SpdProblem::solve(block)");
-  const index_t n = a_.rows();
+  const index_t n = a.rows();
   const index_t k = b.cols();
   const double beta = options.step_size;
   const int workers = clamp_workers(options.workers, pool_);
 
+  // At k <= 4 the whole gamma state fits in registers, so the reassociated
+  // request is honoured by the small-K kernel; wider blocks keep the pinned
+  // column-parallel kernel (and the downgrade stays surfaced).
+  const bool reassociated =
+      options.scan == ScanMode::kReassociated && k <= 4;
+
   AsyncRgsReport report;
   report.workers = workers;
-  // The block kernel is column-parallel already and always runs the pinned
-  // scan; surface the downgrade instead of silently accepting the request.
-  report.scan_used = ScanMode::kPinned;
+  report.scan_used =
+      reassociated ? ScanMode::kReassociated : ScanMode::kPinned;
 
-  // Per-worker gamma scratch in one aligned slab, strided to whole cache
-  // lines with a guard line between workers: adjacent heap allocations here
-  // would false-share and destroy block-solve scaling.
-  const std::size_t doubles_per_line = kCacheLineBytes / sizeof(double);
-  const std::size_t stride =
-      ((static_cast<std::size_t>(k) + doubles_per_line - 1) /
-       doubles_per_line) *
-          doubles_per_line +
-      doubles_per_line;
-  double* const gamma = scratch_->engine.slab(workers, stride);
-
-  detail::BlockResidual residual(a_, b, x, workers,
+  detail::BlockResidual residual(a, b, x, workers,
                                  scratch_->engine.reduce(workers));
 
   WallTimer timer;
-  if (options.atomic_writes) {
-    const detail::BlockRhsUpdate<true> update{&a_, &b,    &x, inv_diag_.data(),
-                                              beta, gamma, stride};
-    detail::run_engine(pool_, options, n, workers, update, residual, report,
-                       &scratch_->engine);
+  if (reassociated) {
+    auto launch = [&]<bool kAtomic>() {
+      auto run = [&](auto update) {
+        detail::run_engine(pool_, options, n, workers, update, residual,
+                           report, &scratch_->engine);
+      };
+      switch (k) {
+        case 1:
+          run(detail::BlockRhsUpdateSmallK<kAtomic, 1, Index, Value>{
+              &a, &b, &x, inv_diag_.data(), beta});
+          break;
+        case 2:
+          run(detail::BlockRhsUpdateSmallK<kAtomic, 2, Index, Value>{
+              &a, &b, &x, inv_diag_.data(), beta});
+          break;
+        case 3:
+          run(detail::BlockRhsUpdateSmallK<kAtomic, 3, Index, Value>{
+              &a, &b, &x, inv_diag_.data(), beta});
+          break;
+        default:
+          run(detail::BlockRhsUpdateSmallK<kAtomic, 4, Index, Value>{
+              &a, &b, &x, inv_diag_.data(), beta});
+          break;
+      }
+    };
+    if (options.atomic_writes)
+      launch.template operator()<true>();
+    else
+      launch.template operator()<false>();
   } else {
-    const detail::BlockRhsUpdate<false> update{&a_, &b,    &x,
-                                               inv_diag_.data(), beta,
-                                               gamma, stride};
-    detail::run_engine(pool_, options, n, workers, update, residual, report,
-                       &scratch_->engine);
+    // Per-worker gamma scratch in one aligned slab, strided to whole cache
+    // lines with a guard line between workers: adjacent heap allocations
+    // here would false-share and destroy block-solve scaling.
+    const std::size_t doubles_per_line = kCacheLineBytes / sizeof(double);
+    const std::size_t stride =
+        ((static_cast<std::size_t>(k) + doubles_per_line - 1) /
+         doubles_per_line) *
+            doubles_per_line +
+        doubles_per_line;
+    double* const gamma = scratch_->engine.slab(workers, stride);
+    if (options.atomic_writes) {
+      const detail::BlockRhsUpdate<true, Index, Value> update{
+          &a, &b, &x, inv_diag_.data(), beta, gamma, stride};
+      detail::run_engine(pool_, options, n, workers, update, residual, report,
+                         &scratch_->engine);
+    } else {
+      const detail::BlockRhsUpdate<false, Index, Value> update{
+          &a, &b, &x, inv_diag_.data(), beta, gamma, stride};
+      detail::run_engine(pool_, options, n, workers, update, residual, report,
+                         &scratch_->engine);
+    }
   }
   report.seconds = timer.seconds();
 
@@ -354,19 +500,40 @@ SolveOutcome SpdProblem::solve(const MultiVector& b, MultiVector& x,
                             std::to_string(workers) + " threads, " +
                             std::to_string(k) + " rhs, " +
                             sync_name(options.sync);
-  if (options.scan == ScanMode::kReassociated)
-    description += "; reassociated scan requested but the block kernel runs "
-                   "the pinned column-parallel scan";
+  if (options.scan == ScanMode::kReassociated && !reassociated)
+    description += "; reassociated scan requested but blocks wider than 4 "
+                   "right-hand sides run the pinned column-parallel scan";
+  if constexpr (Matrix::kStorage != StoragePolicy::kInt64Double)
+    description += std::string(", ") + to_string(Matrix::kStorage) +
+                   " storage";
   SolveOutcome out = outcome_from_report(std::move(report), options,
                                          std::move(description));
-  out.method_used = SpdMethod::kAsyncRgs;
-  ++stats_.solves;
+  out.storage_used = Matrix::kStorage;
   return out;
 }
 
 // --- LsqProblem --------------------------------------------------------------
 
-LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a)
+namespace {
+
+/// Builds the compact (A, A^T) pair for a resolved least-squares policy.
+/// Both operands narrow or neither: the update kernel walks rows of A and
+/// rows of A^T in one pass, and mixing widths there would force per-access
+/// dispatch.
+template <class Index, class Value>
+void narrow_lsq_pair(const CsrMatrix& a, const CsrMatrix& at,
+                     std::shared_ptr<const CsrMatrixT<Index, Value>>& a_out,
+                     std::shared_ptr<const CsrMatrixT<Index, Value>>& at_out) {
+  a_out = std::make_shared<const CsrMatrixT<Index, Value>>(
+      convert_storage<Index, Value>(a));
+  at_out = std::make_shared<const CsrMatrixT<Index, Value>>(
+      convert_storage<Index, Value>(at));
+}
+
+}  // namespace
+
+LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
+                       StorageMode storage)
     : pool_(pool),
       a_(a),
       scratch_(std::make_unique<detail::ProblemScratch>()) {
@@ -378,10 +545,21 @@ LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a)
   for (double s : col_sq_)
     require(s > 0.0, "LsqProblem: zero column (A must have full rank)");
   ++stats_.validation_passes;
+  // A^T's column indices are row indices of A, so narrowing must fit the
+  // larger of the two dimensions.
+  bool fell_back = false;
+  storage_ = resolve_storage_policy(storage, std::max(a.rows(), a.cols()),
+                                    &fell_back);
+  if (fell_back) ++stats_.storage_fallbacks;
+  if (storage_ == StoragePolicy::kInt32Double)
+    narrow_lsq_pair<std::int32_t, double>(a, *at_, a32_, at32_);
+  else if (storage_ == StoragePolicy::kInt32Mixed)
+    narrow_lsq_pair<std::int32_t, float>(a, *at_, amixed_, atmixed_);
+  stats_.storage = storage_;
 }
 
 LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
-                       const CsrMatrix& at)
+                       const CsrMatrix& at, StorageMode storage)
     : pool_(pool),
       a_(a),
       at_(&at),
@@ -392,6 +570,15 @@ LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
   for (double s : col_sq_)
     require(s > 0.0, "LsqProblem: zero column (A must have full rank)");
   ++stats_.validation_passes;
+  bool fell_back = false;
+  storage_ = resolve_storage_policy(storage, std::max(a.rows(), a.cols()),
+                                    &fell_back);
+  if (fell_back) ++stats_.storage_fallbacks;
+  if (storage_ == StoragePolicy::kInt32Double)
+    narrow_lsq_pair<std::int32_t, double>(a, at, a32_, at32_);
+  else if (storage_ == StoragePolicy::kInt32Mixed)
+    narrow_lsq_pair<std::int32_t, float>(a, at, amixed_, atmixed_);
+  stats_.storage = storage_;
 }
 
 LsqProblem::LsqProblem(ThreadPool& pool, const LsqProblem& other)
@@ -399,8 +586,16 @@ LsqProblem::LsqProblem(ThreadPool& pool, const LsqProblem& other)
       a_(other.a_),
       at_holder_(other.at_holder_),
       at_(other.at_),
+      a32_(other.a32_),
+      at32_(other.at32_),
+      amixed_(other.amixed_),
+      atmixed_(other.atmixed_),
+      storage_(other.storage_),
       col_sq_(other.col_sq_),
-      scratch_(std::make_unique<detail::ProblemScratch>()) {}
+      scratch_(std::make_unique<detail::ProblemScratch>()) {
+  stats_.storage = storage_;
+  stats_.storage_fallbacks = other.stats_.storage_fallbacks;
+}
 
 LsqProblem::~LsqProblem() = default;
 
@@ -418,9 +613,32 @@ SolveOutcome LsqProblem::solve(const std::vector<double>& b,
   require(static_cast<index_t>(b.size()) == a_.rows() &&
               static_cast<index_t>(x.size()) == a_.cols(),
           "LsqProblem::solve: shape mismatch");
+  SolveOutcome out;
+  switch (storage_) {
+    case StoragePolicy::kInt32Double:
+      out = solve_on(*a32_, *at32_, b, x, controls);
+      break;
+    case StoragePolicy::kInt32Mixed:
+      out = solve_on(*amixed_, *atmixed_, b, x, controls);
+      break;
+    case StoragePolicy::kInt64Double:
+      out = solve_on(a_, *at_, b, x, controls);
+      break;
+  }
+  ++stats_.solves;
+  return out;
+}
+
+template <class Matrix>
+SolveOutcome LsqProblem::solve_on(const Matrix& a, const Matrix& at,
+                                  const std::vector<double>& b,
+                                  std::vector<double>& x,
+                                  const SolveControls& controls) {
+  using Index = typename Matrix::index_type;
+  using Value = typename Matrix::value_type;
   const AsyncRgsOptions options = to_async_rgs_options(controls);
   validate_async_controls(options, "LsqProblem::solve");
-  const index_t n = a_.cols();
+  const index_t n = a.cols();
   const double beta = options.step_size;
   const int workers = clamp_workers(options.workers, pool_);
 
@@ -430,15 +648,15 @@ SolveOutcome LsqProblem::solve(const std::vector<double>& b,
 
   const bool check = options.track_history || options.rel_tol > 0.0;
   double* const r =
-      check ? scratch_->engine.dense(static_cast<std::size_t>(a_.rows()))
+      check ? scratch_->engine.dense(static_cast<std::size_t>(a.rows()))
             : nullptr;
-  detail::LsqResidual residual(a_, *at_, b, x.data(), workers,
+  detail::LsqResidual residual(a, at, b, x.data(), workers,
                                scratch_->engine.reduce(workers), r, check);
 
   WallTimer timer;
   detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
-    const detail::LsqUpdate<kAtomic, kScan> update{
-        &a_, at_, b.data(), col_sq_.data(), x.data(), beta};
+    const detail::LsqUpdate<kAtomic, kScan, Index, Value> update{
+        &a, &at, b.data(), col_sq_.data(), x.data(), beta};
     detail::run_engine(pool_, options, n, workers, update, residual, report,
                        &scratch_->engine);
   });
@@ -447,9 +665,12 @@ SolveOutcome LsqProblem::solve(const std::vector<double>& b,
   std::string description = std::string("AsyRCD least squares, ") +
                             std::to_string(workers) + " threads, " +
                             sync_name(options.sync);
+  if constexpr (Matrix::kStorage != StoragePolicy::kInt64Double)
+    description += std::string(", ") + to_string(Matrix::kStorage) +
+                   " storage";
   SolveOutcome out = outcome_from_report(std::move(report), options,
                                          std::move(description));
-  ++stats_.solves;
+  out.storage_used = Matrix::kStorage;
   return out;
 }
 

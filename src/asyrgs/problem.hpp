@@ -74,6 +74,38 @@ enum class SolveStatus {
 /// "budget-completed", "rejected").
 [[nodiscard]] const char* to_string(SolveStatus status) noexcept;
 
+/// Requested CSR storage policy for a prepared handle, resolved once at
+/// construction (see resolve_storage_policy for the exact rules).  The
+/// narrow policies build a compact copy of the bound matrix at preparation
+/// time — int32 column indices halve the index bandwidth of every row scan,
+/// and kInt32Mixed additionally halves the value bandwidth (accumulation
+/// stays double; see docs/TUNING.md for when each wins).  Pinned-scan
+/// int32/double arithmetic is bit-identical to full width, which is why
+/// kAuto may narrow by default without breaking reproducibility contracts.
+enum class StorageMode {
+  kAuto,         ///< int32/double when the shape fits, else full width
+  kInt64Double,  ///< full width; no compact copy is built
+  kInt32Double,  ///< compact indices; falls back to full width on overflow
+  kInt32Mixed,   ///< compact indices + float values, double accumulation
+};
+
+/// Human-readable mode name ("auto", "int64_double", "int32_double",
+/// "int32_mixed").
+[[nodiscard]] const char* to_string(StorageMode mode) noexcept;
+
+/// Resolves a storage request against the widest coordinate a policy's
+/// index type must represent (`max_index` = cols() for SPD handles; for
+/// least-squares handles max(rows(), cols()), because the transpose's
+/// column indices are row indices).  kAuto narrows whenever the shape
+/// fits; an explicit narrow request that does not fit falls back to
+/// kInt64Double and reports it through `*fell_back` (surfaced as
+/// ProblemStats::storage_fallbacks).  Exposed separately so the overflow
+/// guard is testable by shape arithmetic alone — exercising the fallback
+/// through a real handle would require materializing a > 2^31-row
+/// operator.
+[[nodiscard]] StoragePolicy resolve_storage_policy(
+    StorageMode mode, index_t max_index, bool* fell_back = nullptr) noexcept;
+
 /// Per-call knobs for a prepared handle, deliberately separated from the
 /// per-problem state (matrix, pool, validation policy) bound at handle
 /// construction.  Field-for-field compatible with AsyncRgsOptions for the
@@ -117,9 +149,14 @@ struct SolveOutcome {
   double seconds = 0.0;      ///< iteration-loop wall time
   ScanMode scan_requested = ScanMode::kPinned;
   /// Association the kernels actually ran; differs from scan_requested only
-  /// for the block solver, whose column-parallel inner loops always run the
-  /// pinned scan (see docs/TUNING.md).
+  /// for the block solver at more than four right-hand sides, whose
+  /// column-parallel inner loops run the pinned scan (k <= 4 dispatches the
+  /// reassociated register-resident kernel; see docs/TUNING.md).
   ScanMode scan_executed = ScanMode::kPinned;
+  /// CSR storage policy the kernels actually ran against — the handle's
+  /// resolved policy for the asynchronous methods, kInt64Double for the
+  /// Krylov outer methods (which always read the bound full-width matrix).
+  StoragePolicy storage_used = StoragePolicy::kInt64Double;
   std::vector<double> residual_history;  ///< per synchronization, if tracked
   std::string description;   ///< human-readable method/mode summary
 
@@ -158,6 +195,12 @@ struct ProblemStats {
   /// Scratch growth events (direction buffers, team-reduce, slabs); a
   /// repeat solve with unchanged shapes/team must not increase this.
   long long scratch_allocations = 0;
+  /// Storage policy resolved at preparation (what the asynchronous kernels
+  /// run against).
+  StoragePolicy storage = StoragePolicy::kInt64Double;
+  /// Explicit narrow-storage requests that overflowed the index width and
+  /// fell back to full storage (0 or 1 per handle; clones inherit it).
+  int storage_fallbacks = 0;
 };
 
 /// Prepared handle for repeated solves of SPD A x = b against one matrix.
@@ -171,7 +214,11 @@ class SpdProblem {
   /// Binds `a` (kept by reference; must outlive the handle) and `pool`.
   /// `check_input` validates symmetry up front — recommended for
   /// user-supplied matrices, skippable for generated/trusted ones.
-  SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input = true);
+  /// `storage` selects the CSR policy the asynchronous kernels run against
+  /// (resolve_storage_policy documents the kAuto/fallback rules); a narrow
+  /// policy builds its compact copy here, once, so solves pay none of it.
+  SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input = true,
+             StorageMode storage = StorageMode::kAuto);
 
   /// Shard clone: binds `pool` to the matrix of `other` and reuses its
   /// completed analysis (diagonal reciprocals, the symmetry verdict) instead
@@ -202,6 +249,9 @@ class SpdProblem {
   [[nodiscard]] const CsrMatrix& matrix() const noexcept { return a_; }
   [[nodiscard]] ThreadPool& pool() const noexcept { return pool_; }
   [[nodiscard]] index_t dimension() const noexcept { return a_.rows(); }
+  /// The CSR policy resolved at construction (what the asynchronous solve
+  /// paths run against; also in ProblemStats::storage).
+  [[nodiscard]] StoragePolicy storage() const noexcept { return storage_; }
   [[nodiscard]] ProblemStats stats() const;
 
  private:
@@ -213,9 +263,23 @@ class SpdProblem {
   SolveOutcome solve_krylov(const std::vector<double>& b,
                             std::vector<double>& x,
                             const SolveControls& controls, SpdMethod method);
+  /// Policy-concrete bodies behind the storage dispatch (problem.cpp).
+  template <class Matrix>
+  SolveOutcome solve_async_single_on(const Matrix& a,
+                                     const std::vector<double>& b,
+                                     std::vector<double>& x,
+                                     const SolveControls& controls);
+  template <class Matrix>
+  SolveOutcome solve_block_on(const Matrix& a, const MultiVector& b,
+                              MultiVector& x, const SolveControls& controls);
 
   ThreadPool& pool_;
   const CsrMatrix& a_;
+  /// Compact copies built at preparation when storage_ narrows; at most one
+  /// is non-null.  shared_ptr so shard clones alias one copy.
+  std::shared_ptr<const CsrMatrix32> a32_;
+  std::shared_ptr<const CsrMatrixMixed> amixed_;
+  StoragePolicy storage_ = StoragePolicy::kInt64Double;
   std::vector<double> inv_diag_;
   mutable std::recursive_mutex mutex_;  // recursive: FCG solves re-enter via
                                         // the preconditioner's inner solves
@@ -233,12 +297,17 @@ class LsqProblem {
  public:
   /// Binds `a` and builds A^T through the matrix's shared transpose cache
   /// (so several handles — or the convenience free function — against one
-  /// matrix construct the transpose a single time).
-  LsqProblem(ThreadPool& pool, const CsrMatrix& a);
+  /// matrix construct the transpose a single time).  `storage` narrows both
+  /// A and A^T; because the transpose's column indices are row indices,
+  /// narrowing requires max(rows, cols) to fit the index width (kAuto
+  /// checks it, explicit requests fall back — see resolve_storage_policy).
+  LsqProblem(ThreadPool& pool, const CsrMatrix& a,
+             StorageMode storage = StorageMode::kAuto);
 
   /// Binds a caller-materialized transpose (not copied; `a` and `at` must
   /// outlive the handle).  Validates that shapes are transposed.
-  LsqProblem(ThreadPool& pool, const CsrMatrix& a, const CsrMatrix& at);
+  LsqProblem(ThreadPool& pool, const CsrMatrix& a, const CsrMatrix& at,
+             StorageMode storage = StorageMode::kAuto);
 
   /// Shard clone: binds `pool` to the matrix of `other` and reuses its
   /// analysis — the shared A^T (same instance, held through the matrix
@@ -259,13 +328,28 @@ class LsqProblem {
 
   [[nodiscard]] const CsrMatrix& matrix() const noexcept { return a_; }
   [[nodiscard]] const CsrMatrix& transpose() const noexcept { return *at_; }
+  /// The CSR policy resolved at construction.
+  [[nodiscard]] StoragePolicy storage() const noexcept { return storage_; }
   [[nodiscard]] ProblemStats stats() const;
 
  private:
+  /// Policy-concrete solve body behind the storage dispatch (problem.cpp).
+  template <class Matrix>
+  SolveOutcome solve_on(const Matrix& a, const Matrix& at,
+                        const std::vector<double>& b, std::vector<double>& x,
+                        const SolveControls& controls);
+
   ThreadPool& pool_;
   const CsrMatrix& a_;
   std::shared_ptr<const CsrMatrix> at_holder_;  // cached-transpose mode
   const CsrMatrix* at_;
+  /// Compact copies of (A, A^T) when storage_ narrows; the pair for at most
+  /// one narrow policy is non-null.  shared_ptr so shard clones alias them.
+  std::shared_ptr<const CsrMatrix32> a32_;
+  std::shared_ptr<const CsrMatrix32> at32_;
+  std::shared_ptr<const CsrMatrixMixed> amixed_;
+  std::shared_ptr<const CsrMatrixMixed> atmixed_;
+  StoragePolicy storage_ = StoragePolicy::kInt64Double;
   std::vector<double> col_sq_;  // ||A_{:,j}||^2 update denominators
   mutable std::recursive_mutex mutex_;
   std::unique_ptr<detail::ProblemScratch> scratch_;

@@ -67,6 +67,7 @@ std::string format_json_trace(const TraceEvent& event) {
   std::ostringstream line;
   line << "{\"type\":\"request\",\"id\":" << event.request_id << ",\"kind\":\""
        << event.kind << "\",\"status\":\"" << event.status
+       << "\",\"storage\":\"" << event.storage
        << "\",\"shard\":" << event.shard << ",\"priority\":" << event.priority
        << ",\"warm_start\":" << (event.warm_start ? "true" : "false")
        << ",\"enqueue_us\":" << us(event.enqueue_seconds)

@@ -81,6 +81,10 @@ struct TraceEvent {
   long long request_id = 0;     ///< submission order, 1-based
   const char* kind = "spd";     ///< "spd" | "spd_block" | "lsq"
   const char* status = "";      ///< to_string(SolveStatus) or "error"
+  /// to_string(StoragePolicy) the executed solve ran against
+  /// (SolveOutcome::storage_used); "" for requests that never executed or
+  /// threw.
+  const char* storage = "";
   int shard = -1;               ///< executing shard; -1 = never executed
   int priority = 0;             ///< admitted priority class
   bool warm_start = false;      ///< request carried an initial iterate

@@ -151,6 +151,9 @@ void emit_trace(const ServiceImpl& impl, const TicketState& t) {
   event.request_id = t.request_id;
   event.kind = kind_name(t.kind);
   event.status = t.error ? "error" : to_string(t.outcome.status);
+  // Storage is meaningful only for a solve that ran to an outcome; rejected
+  // or failed requests leave it empty.
+  if (!t.error && t.started) event.storage = to_string(t.outcome.storage_used);
   event.shard = t.shard;
   event.priority = t.priority;
   event.warm_start = t.warm_start;
@@ -372,14 +375,15 @@ SolverService::SolverService(const CsrMatrix& a, ServiceOptions options) {
     shard.pool = std::make_unique<ThreadPool>(workers);
     if (options.prepare_spd) {
       if (s == 0)
-        shard.spd.emplace(*shard.pool, a, options.check_input);
+        shard.spd.emplace(*shard.pool, a, options.check_input,
+                          options.storage);
       else
         shard.spd.emplace(*shard.pool, *impl_->shards.front().spd);
       shard.spd_stats = shard.spd->stats();
     }
     if (options.prepare_lsq) {
       if (s == 0)
-        shard.lsq.emplace(*shard.pool, a);
+        shard.lsq.emplace(*shard.pool, a, options.storage);
       else
         shard.lsq.emplace(*shard.pool, *impl_->shards.front().lsq);
       shard.lsq_stats = shard.lsq->stats();

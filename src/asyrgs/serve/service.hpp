@@ -108,6 +108,13 @@ struct ServiceOptions {
   /// Validate symmetry at construction (SPD family; shard 0 only — clones
   /// reuse the verdict).
   bool check_input = true;
+  /// CSR storage policy request for the prepared handles (see StorageMode /
+  /// resolve_storage_policy in asyrgs/problem.hpp).  Shard 0 builds the
+  /// compact copy; clones alias it, so a service pays the narrowing pass
+  /// once regardless of shard count.  The resolved policy is visible in
+  /// ShardStats (ProblemStats::storage), each outcome's
+  /// SolveOutcome::storage_used, and the trace events.
+  StorageMode storage = StorageMode::kAuto;
   /// Optional per-request trace sink (one structured event per completed or
   /// rejected request); shared so one sink can serve several services.
   /// Must be internally synchronized (JsonTraceSink is).

@@ -1,8 +1,6 @@
 #include "asyrgs/sparse/csr.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <mutex>
+#include <cstring>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define ASYRGS_SCAN_SIMD 1
@@ -10,15 +8,6 @@
 #endif
 
 namespace asyrgs {
-
-/// One-shot cache slot for the transpose.  Heap-allocated and shared between
-/// copies of the matrix (copies have identical values, so sharing is sound).
-/// The per-slot mutex guards `value` so concurrent first builds construct
-/// exactly one transpose and concurrent readers never race the writer.
-struct CsrMatrix::TransposeCache {
-  std::mutex mutex;
-  std::shared_ptr<const CsrMatrix> value;
-};
 
 namespace {
 
@@ -30,13 +19,28 @@ namespace {
 // carries the AVX paths.  All variants compute the identical mathematical
 // sum; only the rounding order differs (per-variant accumulator count and
 // lane width), which is exactly the license ScanMode::kReassociated grants.
+//
+// One kernel family per storage policy:
+//   int64/double  64-bit-index gathers (one __m512i of indices per 8 lanes)
+//   int32/double  narrow gathers — a single __m256i of int32 indices feeds a
+//                 full 8-double AVX-512 gather, halving index load traffic
+//   int32/float   narrow gathers + half-width value loads widened in
+//                 registers (cvtps_pd) before the double FMA
+//
+// AVX-512 tails: masked 512-bit loads (maskz_loadu_epi64/pd) are plain
+// AVX512F, but masked *256-bit* loads of int32 indices or float values would
+// require AVX512VL — so the narrow-policy tails copy the remainder into
+// zero-padded stack buffers and keep the gather itself masked (no
+// out-of-bounds x reads, no dependence on padded lanes even when x holds
+// non-finite values).
 
 #if defined(ASYRGS_SCAN_SIMD)
 
-/// AVX2 gather + FMA, two 4-lane accumulators (8 products in flight).
+/// AVX2 gather + FMA, two 4-lane accumulators (8 products in flight);
+/// int64 indices.
 __attribute__((target("avx2,fma"))) double row_dot_avx2(
-    const index_t* __restrict cols, const double* __restrict vals, nnz_t len,
-    const double* __restrict x) noexcept {
+    const std::int64_t* __restrict cols, const double* __restrict vals,
+    nnz_t len, const double* __restrict x) noexcept {
   __m256d s0 = _mm256_setzero_pd();
   __m256d s1 = _mm256_setzero_pd();
   nnz_t t = 0;
@@ -59,16 +63,78 @@ __attribute__((target("avx2,fma"))) double row_dot_avx2(
   return acc;
 }
 
+// GCC 12's avx2intrin.h trips -W(maybe-)uninitialized on the i32gather
+// intrinsics' undefined pass-through operand — the same header false
+// positive the AVX-512 block below (and support/prng.cpp) suppresses.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+/// AVX2 narrow gather, two 4-lane accumulators; int32 indices (a __m128i of
+/// indices per 4-double gather).
+__attribute__((target("avx2,fma"))) double row_dot_avx2_i32(
+    const std::int32_t* __restrict cols, const double* __restrict vals,
+    nnz_t len, const double* __restrict x) noexcept {
+  __m256d s0 = _mm256_setzero_pd();
+  __m256d s1 = _mm256_setzero_pd();
+  nnz_t t = 0;
+  for (; t + 8 <= len; t += 8) {
+    const __m128i i0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + t));
+    const __m128i i1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + t + 4));
+    s0 = _mm256_fmadd_pd(_mm256_loadu_pd(vals + t),
+                         _mm256_i32gather_pd(x, i0, 8), s0);
+    s1 = _mm256_fmadd_pd(_mm256_loadu_pd(vals + t + 4),
+                         _mm256_i32gather_pd(x, i1, 8), s1);
+  }
+  const __m256d s = _mm256_add_pd(s0, s1);
+  const __m128d lo = _mm256_castpd256_pd128(s);
+  const __m128d hi = _mm256_extractf128_pd(s, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double acc = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; t < len; ++t) acc += vals[t] * x[cols[t]];
+  return acc;
+}
+
+/// AVX2 mixed: int32 narrow gather + float values widened with cvtps_pd.
+__attribute__((target("avx2,fma"))) double row_dot_avx2_mixed(
+    const std::int32_t* __restrict cols, const float* __restrict vals,
+    nnz_t len, const double* __restrict x) noexcept {
+  __m256d s0 = _mm256_setzero_pd();
+  __m256d s1 = _mm256_setzero_pd();
+  nnz_t t = 0;
+  for (; t + 8 <= len; t += 8) {
+    const __m128i i0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + t));
+    const __m128i i1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + t + 4));
+    const __m256d v0 = _mm256_cvtps_pd(_mm_loadu_ps(vals + t));
+    const __m256d v1 = _mm256_cvtps_pd(_mm_loadu_ps(vals + t + 4));
+    s0 = _mm256_fmadd_pd(v0, _mm256_i32gather_pd(x, i0, 8), s0);
+    s1 = _mm256_fmadd_pd(v1, _mm256_i32gather_pd(x, i1, 8), s1);
+  }
+  const __m256d s = _mm256_add_pd(s0, s1);
+  const __m128d lo = _mm256_castpd256_pd128(s);
+  const __m128d hi = _mm256_extractf128_pd(s, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double acc = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; t < len; ++t) acc += vals[t] * x[cols[t]];
+  return acc;
+}
+
 // GCC 12's avx512fintrin.h trips -W(maybe-)uninitialized on the unmasked
 // intrinsics' _mm512_undefined_epi32 pass-through operand — the same header
 // false positive support/prng.cpp suppresses around its AVX-512 kernel.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #pragma GCC diagnostic ignored "-Wuninitialized"
-/// AVX-512 gather + FMA, two 8-lane accumulators (16 products in flight).
+
+/// AVX-512 gather + FMA, two 8-lane accumulators (16 products in flight);
+/// int64 indices.
 __attribute__((target("avx512f"))) double row_dot_avx512(
-    const index_t* __restrict cols, const double* __restrict vals, nnz_t len,
-    const double* __restrict x) noexcept {
+    const std::int64_t* __restrict cols, const double* __restrict vals,
+    nnz_t len, const double* __restrict x) noexcept {
   __m512d s0 = _mm512_setzero_pd();
   __m512d s1 = _mm512_setzero_pd();
   nnz_t t = 0;
@@ -100,179 +166,165 @@ __attribute__((target("avx512f"))) double row_dot_avx512(
   }
   return _mm512_reduce_add_pd(s);
 }
+
+/// AVX-512 narrow gather, two 8-lane accumulators; int32 indices — one
+/// __m256i index load per full 8-double gather, half the index bytes of the
+/// int64 kernel.  Tail indices go through a zero-padded stack buffer (a
+/// masked 256-bit index load would need AVX512VL); the gather stays masked.
+__attribute__((target("avx512f"))) double row_dot_avx512_i32(
+    const std::int32_t* __restrict cols, const double* __restrict vals,
+    nnz_t len, const double* __restrict x) noexcept {
+  __m512d s0 = _mm512_setzero_pd();
+  __m512d s1 = _mm512_setzero_pd();
+  nnz_t t = 0;
+  for (; t + 16 <= len; t += 16) {
+    const __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t));
+    const __m256i i1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t + 8));
+    s0 = _mm512_fmadd_pd(_mm512_loadu_pd(vals + t),
+                         _mm512_i32gather_pd(i0, x, 8), s0);
+    s1 = _mm512_fmadd_pd(_mm512_loadu_pd(vals + t + 8),
+                         _mm512_i32gather_pd(i1, x, 8), s1);
+  }
+  __m512d s = _mm512_add_pd(s0, s1);
+  if (t + 8 <= len) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t));
+    s = _mm512_fmadd_pd(_mm512_loadu_pd(vals + t),
+                        _mm512_i32gather_pd(idx, x, 8), s);
+    t += 8;
+  }
+  if (t < len) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (len - t)) - 1u);
+    alignas(32) std::int32_t ibuf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::memcpy(ibuf, cols + t, static_cast<std::size_t>(len - t) *
+                                    sizeof(std::int32_t));
+    const __m256i idx =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(ibuf));
+    const __m512d v = _mm512_maskz_loadu_pd(m, vals + t);
+    const __m512d g = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), m, idx,
+                                               x, 8);
+    s = _mm512_fmadd_pd(v, g, s);
+  }
+  return _mm512_reduce_add_pd(s);
+}
+
+/// AVX-512 mixed: int32 narrow gather + 8 float values per lane-set widened
+/// with cvtps_pd — half the index bytes AND half the value bytes of the
+/// full-width kernel.  Tail uses zero-padded stack buffers for indices and
+/// values (masked 256-bit loads would need AVX512VL); padded value lanes are
+/// 0 and the gather is masked, so padding never contributes.
+__attribute__((target("avx512f"))) double row_dot_avx512_mixed(
+    const std::int32_t* __restrict cols, const float* __restrict vals,
+    nnz_t len, const double* __restrict x) noexcept {
+  __m512d s0 = _mm512_setzero_pd();
+  __m512d s1 = _mm512_setzero_pd();
+  nnz_t t = 0;
+  for (; t + 16 <= len; t += 16) {
+    const __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t));
+    const __m256i i1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t + 8));
+    const __m512d v0 = _mm512_cvtps_pd(_mm256_loadu_ps(vals + t));
+    const __m512d v1 = _mm512_cvtps_pd(_mm256_loadu_ps(vals + t + 8));
+    s0 = _mm512_fmadd_pd(v0, _mm512_i32gather_pd(i0, x, 8), s0);
+    s1 = _mm512_fmadd_pd(v1, _mm512_i32gather_pd(i1, x, 8), s1);
+  }
+  __m512d s = _mm512_add_pd(s0, s1);
+  if (t + 8 <= len) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + t));
+    const __m512d v = _mm512_cvtps_pd(_mm256_loadu_ps(vals + t));
+    s = _mm512_fmadd_pd(v, _mm512_i32gather_pd(idx, x, 8), s);
+    t += 8;
+  }
+  if (t < len) {
+    const __mmask8 m = static_cast<__mmask8>((1u << (len - t)) - 1u);
+    alignas(32) std::int32_t ibuf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    alignas(32) float vbuf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::memcpy(ibuf, cols + t, static_cast<std::size_t>(len - t) *
+                                    sizeof(std::int32_t));
+    std::memcpy(vbuf, vals + t,
+                static_cast<std::size_t>(len - t) * sizeof(float));
+    const __m256i idx =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(ibuf));
+    const __m512d v = _mm512_cvtps_pd(_mm256_load_ps(vbuf));
+    const __m512d g = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), m, idx,
+                                               x, 8);
+    s = _mm512_fmadd_pd(v, g, s);
+  }
+  return _mm512_reduce_add_pd(s);
+}
+
 #pragma GCC diagnostic pop
 
 #endif  // ASYRGS_SCAN_SIMD
 
-using RowDotFn = double (*)(const index_t* __restrict, const double* __restrict,
+template <class Index, class Value>
+using RowDotFn = double (*)(const Index* __restrict, const Value* __restrict,
                             nnz_t, const double* __restrict) noexcept;
 
-/// Widest available long-row kernel, resolved once at load time into a
-/// namespace-scope pointer — the per-row call is one predicted indirect
-/// branch, with no function-local-static guard on the hot path.
-RowDotFn pick_row_dot_reassoc() noexcept {
+/// Widest available long-row kernel per policy, resolved once at load time
+/// into a namespace-scope pointer — the per-row call is one predicted
+/// indirect branch, with no function-local-static guard on the hot path.
+RowDotFn<std::int64_t, double> pick_row_dot_reassoc_64d() noexcept {
 #if defined(ASYRGS_SCAN_SIMD)
   if (__builtin_cpu_supports("avx512f")) return row_dot_avx512;
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
     return row_dot_avx2;
 #endif
-  return csr_row_dot_multiacc;  // shared definition in csr.hpp
+  return csr_row_dot_multiacc<std::int64_t, double>;  // shared def in csr.hpp
 }
 
-const RowDotFn g_row_dot_reassoc_long = pick_row_dot_reassoc();
+RowDotFn<std::int32_t, double> pick_row_dot_reassoc_32d() noexcept {
+#if defined(ASYRGS_SCAN_SIMD)
+  if (__builtin_cpu_supports("avx512f")) return row_dot_avx512_i32;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return row_dot_avx2_i32;
+#endif
+  return csr_row_dot_multiacc<std::int32_t, double>;
+}
+
+RowDotFn<std::int32_t, float> pick_row_dot_reassoc_32f() noexcept {
+#if defined(ASYRGS_SCAN_SIMD)
+  if (__builtin_cpu_supports("avx512f")) return row_dot_avx512_mixed;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return row_dot_avx2_mixed;
+#endif
+  return csr_row_dot_multiacc<std::int32_t, float>;
+}
+
+const RowDotFn<std::int64_t, double> g_row_dot_reassoc_long_64d =
+    pick_row_dot_reassoc_64d();
+const RowDotFn<std::int32_t, double> g_row_dot_reassoc_long_32d =
+    pick_row_dot_reassoc_32d();
+const RowDotFn<std::int32_t, float> g_row_dot_reassoc_long_32f =
+    pick_row_dot_reassoc_32f();
 
 }  // namespace
 
-double csr_row_dot_reassoc_long(const index_t* cols, const double* vals,
+double csr_row_dot_reassoc_long(const std::int64_t* cols, const double* vals,
                                 nnz_t len, const double* x) noexcept {
-  return g_row_dot_reassoc_long(cols, vals, len, x);
+  return g_row_dot_reassoc_long_64d(cols, vals, len, x);
 }
 
-CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<nnz_t> row_ptr,
-                     std::vector<index_t> col_idx, std::vector<double> values)
-    : rows_(rows),
-      cols_(cols),
-      row_ptr_(std::move(row_ptr)),
-      col_idx_(std::move(col_idx)),
-      values_(std::move(values)),
-      transpose_cache_(std::make_shared<TransposeCache>()) {
-  require(rows_ > 0 && cols_ > 0, "CsrMatrix: dimensions must be positive");
-  require(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
-          "CsrMatrix: row_ptr must have rows+1 entries");
-  require(row_ptr_.front() == 0, "CsrMatrix: row_ptr must start at 0");
-  require(col_idx_.size() == values_.size(),
-          "CsrMatrix: col_idx/values size mismatch");
-  require(row_ptr_.back() == static_cast<nnz_t>(col_idx_.size()),
-          "CsrMatrix: row_ptr end does not match nnz");
-  for (index_t i = 0; i < rows_; ++i) {
-    require(row_ptr_[i] <= row_ptr_[i + 1],
-            "CsrMatrix: row_ptr must be non-decreasing");
-    for (nnz_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
-      require(col_idx_[t] >= 0 && col_idx_[t] < cols_,
-              "CsrMatrix: column index out of range");
-      if (t > row_ptr_[i])
-        require(col_idx_[t - 1] < col_idx_[t],
-                "CsrMatrix: columns must be strictly increasing in each row");
-    }
-  }
+double csr_row_dot_reassoc_long(const std::int32_t* cols, const double* vals,
+                                nnz_t len, const double* x) noexcept {
+  return g_row_dot_reassoc_long_32d(cols, vals, len, x);
 }
 
-double CsrMatrix::at(index_t i, index_t j) const {
-  require(i >= 0 && i < rows_ && j >= 0 && j < cols_,
-          "CsrMatrix::at: index out of range");
-  const auto cols = row_cols(i);
-  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
-  if (it == cols.end() || *it != j) return 0.0;
-  return values_[row_ptr_[i] + (it - cols.begin())];
+double csr_row_dot_reassoc_long(const std::int32_t* cols, const float* vals,
+                                nnz_t len, const double* x) noexcept {
+  return g_row_dot_reassoc_long_32f(cols, vals, len, x);
 }
 
-double CsrMatrix::row_dot(index_t i, const double* x) const noexcept {
-  const nnz_t lo = row_ptr_[i];
-  return csr_row_dot(col_idx_.data() + lo, values_.data() + lo,
-                     row_ptr_[i + 1] - lo, x);
-}
-
-void CsrMatrix::multiply(const double* x, double* y) const {
-  for (index_t i = 0; i < rows_; ++i) y[i] = row_dot(i, x);
-}
-
-void CsrMatrix::multiply_transpose(const double* x, double* y) const {
-  std::fill(y, y + cols_, 0.0);
-  for (index_t i = 0; i < rows_; ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (nnz_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t)
-      y[col_idx_[t]] += values_[t] * xi;
-  }
-}
-
-std::vector<double> CsrMatrix::diagonal() const {
-  require(square(), "CsrMatrix::diagonal: matrix must be square");
-  std::vector<double> d(static_cast<std::size_t>(rows_), 0.0);
-  for (index_t i = 0; i < rows_; ++i) d[i] = at(i, i);
-  return d;
-}
-
-CsrMatrix CsrMatrix::transpose() const {
-  std::vector<nnz_t> t_row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
-  for (index_t c : col_idx_) t_row_ptr[c + 1]++;
-  for (index_t j = 0; j < cols_; ++j) t_row_ptr[j + 1] += t_row_ptr[j];
-
-  std::vector<index_t> t_col(col_idx_.size());
-  std::vector<double> t_val(values_.size());
-  std::vector<nnz_t> cursor(t_row_ptr.begin(), t_row_ptr.end() - 1);
-  // Walking rows in order writes each transposed row's entries in increasing
-  // original-row order, so column indices stay sorted.
-  for (index_t i = 0; i < rows_; ++i) {
-    for (nnz_t t = row_ptr_[i]; t < row_ptr_[i + 1]; ++t) {
-      const nnz_t slot = cursor[col_idx_[t]]++;
-      t_col[slot] = i;
-      t_val[slot] = values_[t];
-    }
-  }
-  return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col),
-                   std::move(t_val));
-}
-
-CsrMatrix::CsrMatrix() : transpose_cache_(std::make_shared<TransposeCache>()) {}
-
-namespace {
-/// Re-installation guard for matrices whose slot was stolen by a move;
-/// every constructor installs the slot eagerly, so this path is cold and
-/// exists only to keep moved-from objects safe to query single-threadedly.
-std::mutex g_transpose_slot_mutex;
-}  // namespace
-
-std::shared_ptr<const CsrMatrix> CsrMatrix::transpose_shared(
-    bool* built_now) const {
-  if (!transpose_cache_) {  // moved-from only; see constructor
-    const std::scoped_lock lock(g_transpose_slot_mutex);
-    if (!transpose_cache_) transpose_cache_ = std::make_shared<TransposeCache>();
-  }
-  TransposeCache& cache = *transpose_cache_;
-  const std::scoped_lock lock(cache.mutex);
-  const bool building = cache.value == nullptr;
-  if (building) cache.value = std::make_shared<const CsrMatrix>(transpose());
-  if (built_now != nullptr) *built_now = building;
-  return cache.value;
-}
-
-bool CsrMatrix::transpose_cached() const {
-  const std::shared_ptr<TransposeCache> slot = transpose_cache_;
-  if (!slot) return false;
-  const std::scoped_lock lock(slot->mutex);
-  return slot->value != nullptr;
-}
-
-ColumnCompression drop_empty_columns(const CsrMatrix& a) {
-  std::vector<char> used(static_cast<std::size_t>(a.cols()), 0);
-  for (index_t c : a.col_idx()) used[static_cast<std::size_t>(c)] = 1;
-
-  ColumnCompression out;
-  std::vector<index_t> new_index(static_cast<std::size_t>(a.cols()), -1);
-  for (index_t c = 0; c < a.cols(); ++c) {
-    if (used[static_cast<std::size_t>(c)]) {
-      new_index[static_cast<std::size_t>(c)] =
-          static_cast<index_t>(out.kept_columns.size());
-      out.kept_columns.push_back(c);
-    }
-  }
-  require(!out.kept_columns.empty(), "drop_empty_columns: matrix is all zero");
-
-  std::vector<index_t> col_idx(a.col_idx());
-  for (index_t& c : col_idx) c = new_index[static_cast<std::size_t>(c)];
-  out.matrix =
-      CsrMatrix(a.rows(), static_cast<index_t>(out.kept_columns.size()),
-                a.row_ptr(), std::move(col_idx), a.values());
-  return out;
-}
-
-bool CsrMatrix::equals(const CsrMatrix& other, double tol) const {
-  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
-  if (row_ptr_ != other.row_ptr_ || col_idx_ != other.col_idx_) return false;
-  for (std::size_t t = 0; t < values_.size(); ++t)
-    if (std::abs(values_[t] - other.values_[t]) > tol) return false;
-  return true;
-}
+// Anchor one instantiation of each supported policy in this TU so policy-set
+// regressions (a kernel overload missing, a member that fails to compile for
+// a narrow width) surface here instead of in whichever consumer first
+// touches the variant.
+template class CsrMatrixT<std::int64_t, double>;
+template class CsrMatrixT<std::int32_t, double>;
+template class CsrMatrixT<std::int32_t, float>;
 
 }  // namespace asyrgs

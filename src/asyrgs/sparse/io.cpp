@@ -31,7 +31,8 @@ bool next_content_line(std::istream& in, std::string& line) {
 
 }  // namespace
 
-CsrMatrix read_matrix_market(std::istream& in) {
+template <class Index, class Value>
+CsrMatrixT<Index, Value> read_matrix_market_as(std::istream& in) {
   std::string header;
   require(static_cast<bool>(std::getline(in, header)),
           "matrix market: empty stream");
@@ -58,7 +59,12 @@ CsrMatrix read_matrix_market(std::istream& in) {
   require(rows > 0 && cols > 0 && entries >= 0,
           "matrix market: invalid dimensions");
 
-  CooBuilder builder(rows, cols);
+  // The builder stores triplets at the target (Index, Value) width from the
+  // first entry and validates the column range once here — no full-width
+  // intermediate pass.  The builder constructor is the overflow guard: a
+  // declared column count beyond the index width throws before any entry is
+  // read.
+  CooBuilderT<Index, Value> builder(rows, cols);
   builder.reserve(static_cast<std::size_t>(symmetric ? 2 * entries : entries));
   for (nnz_t t = 0; t < entries; ++t) {
     require(next_content_line(in, line),
@@ -79,13 +85,23 @@ CsrMatrix read_matrix_market(std::istream& in) {
   return builder.to_csr();
 }
 
-CsrMatrix read_matrix_market_file(const std::string& path) {
+template <class Index, class Value>
+CsrMatrixT<Index, Value> read_matrix_market_file_as(const std::string& path) {
   std::ifstream in(path);
   require(in.good(), ("cannot open matrix file: " + path).c_str());
-  return read_matrix_market(in);
+  return read_matrix_market_as<Index, Value>(in);
 }
 
-void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+CsrMatrix read_matrix_market(std::istream& in) {
+  return read_matrix_market_as<std::int64_t, double>(in);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  return read_matrix_market_file_as<std::int64_t, double>(path);
+}
+
+template <class Index, class Value>
+void write_matrix_market(std::ostream& out, const CsrMatrixT<Index, Value>& a) {
   out << "%%MatrixMarket matrix coordinate real general\n";
   out << "% written by asyrgs\n";
   out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
@@ -94,15 +110,35 @@ void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
     const auto cols = a.row_cols(i);
     const auto vals = a.row_vals(i);
     for (std::size_t t = 0; t < cols.size(); ++t)
-      out << (i + 1) << ' ' << (cols[t] + 1) << ' ' << vals[t] << '\n';
+      out << (i + 1) << ' ' << (cols[t] + 1) << ' '
+          << static_cast<double>(vals[t]) << '\n';
   }
 }
 
-void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+template <class Index, class Value>
+void write_matrix_market_file(const std::string& path,
+                              const CsrMatrixT<Index, Value>& a) {
   std::ofstream out(path);
   require(out.good(), ("cannot open output file: " + path).c_str());
   write_matrix_market(out, a);
 }
+
+// Instantiate the policy-aware entry points for the three supported policies.
+#define ASYRGS_INSTANTIATE_IO(Index, Value)                                   \
+  template CsrMatrixT<Index, Value> read_matrix_market_as<Index, Value>(      \
+      std::istream&);                                                         \
+  template CsrMatrixT<Index, Value> read_matrix_market_file_as<Index, Value>( \
+      const std::string&);                                                    \
+  template void write_matrix_market<Index, Value>(                            \
+      std::ostream&, const CsrMatrixT<Index, Value>&);                        \
+  template void write_matrix_market_file<Index, Value>(                       \
+      const std::string&, const CsrMatrixT<Index, Value>&);
+
+ASYRGS_INSTANTIATE_IO(std::int64_t, double)
+ASYRGS_INSTANTIATE_IO(std::int32_t, double)
+ASYRGS_INSTANTIATE_IO(std::int32_t, float)
+
+#undef ASYRGS_INSTANTIATE_IO
 
 std::vector<double> read_vector_market(std::istream& in) {
   std::string header;

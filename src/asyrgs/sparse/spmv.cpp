@@ -16,8 +16,9 @@ index_t dynamic_grain(index_t rows, int workers) {
 
 }  // namespace
 
-void spmv(ThreadPool& pool, const CsrMatrix& a, const double* x, double* y,
-          int workers, RowPartition partition) {
+template <class Index, class Value>
+void spmv(ThreadPool& pool, const CsrMatrixT<Index, Value>& a, const double* x,
+          double* y, int workers, RowPartition partition) {
   const index_t n = a.rows();
   if (workers <= 0) workers = pool.size();
   switch (partition) {
@@ -45,8 +46,10 @@ void spmv(ThreadPool& pool, const CsrMatrix& a, const double* x, double* y,
   }
 }
 
-void spmv(ThreadPool& pool, const CsrMatrix& a, const std::vector<double>& x,
-          std::vector<double>& y, int workers, RowPartition partition) {
+template <class Index, class Value>
+void spmv(ThreadPool& pool, const CsrMatrixT<Index, Value>& a,
+          const std::vector<double>& x, std::vector<double>& y, int workers,
+          RowPartition partition) {
   require(static_cast<index_t>(x.size()) == a.cols(),
           "spmv: x length must equal cols");
   y.resize(static_cast<std::size_t>(a.rows()));
@@ -56,8 +59,9 @@ void spmv(ThreadPool& pool, const CsrMatrix& a, const std::vector<double>& x,
 namespace {
 
 /// One fused block row: y_row = A_i X over all block columns.
-inline void block_row_dot(const CsrMatrix& a, const MultiVector& x, index_t i,
-                          double* y_row) {
+template <class Index, class Value>
+inline void block_row_dot(const CsrMatrixT<Index, Value>& a,
+                          const MultiVector& x, index_t i, double* y_row) {
   const index_t k = x.cols();
   std::fill(y_row, y_row + k, 0.0);
   const auto cols = a.row_cols(i);
@@ -71,8 +75,10 @@ inline void block_row_dot(const CsrMatrix& a, const MultiVector& x, index_t i,
 
 }  // namespace
 
-void spmv_block(ThreadPool& pool, const CsrMatrix& a, const MultiVector& x,
-                MultiVector& y, int workers, RowPartition partition) {
+template <class Index, class Value>
+void spmv_block(ThreadPool& pool, const CsrMatrixT<Index, Value>& a,
+                const MultiVector& x, MultiVector& y, int workers,
+                RowPartition partition) {
   require(x.rows() == a.cols(), "spmv_block: X row count must equal cols");
   require(y.rows() == a.rows() && y.cols() == x.cols(),
           "spmv_block: Y shape mismatch");
@@ -98,8 +104,10 @@ void spmv_block(ThreadPool& pool, const CsrMatrix& a, const MultiVector& x,
   }
 }
 
-void block_residual(ThreadPool& pool, const CsrMatrix& a, const MultiVector& b,
-                    const MultiVector& x, MultiVector& r, int workers) {
+template <class Index, class Value>
+void block_residual(ThreadPool& pool, const CsrMatrixT<Index, Value>& a,
+                    const MultiVector& b, const MultiVector& x, MultiVector& r,
+                    int workers) {
   require(b.rows() == a.rows() && x.rows() == a.cols(),
           "block_residual: shape mismatch");
   require(r.rows() == b.rows() && r.cols() == b.cols() &&
@@ -120,5 +128,27 @@ void block_residual(ThreadPool& pool, const CsrMatrix& a, const MultiVector& b,
       },
       workers);
 }
+
+// Instantiate every entry point for the three supported storage policies
+// (consumers see only the declarations in spmv.hpp).
+#define ASYRGS_INSTANTIATE_SPMV(Index, Value)                                  \
+  template void spmv<Index, Value>(ThreadPool&,                                \
+                                   const CsrMatrixT<Index, Value>&,            \
+                                   const double*, double*, int, RowPartition); \
+  template void spmv<Index, Value>(                                            \
+      ThreadPool&, const CsrMatrixT<Index, Value>&, const std::vector<double>&,\
+      std::vector<double>&, int, RowPartition);                                \
+  template void spmv_block<Index, Value>(                                      \
+      ThreadPool&, const CsrMatrixT<Index, Value>&, const MultiVector&,        \
+      MultiVector&, int, RowPartition);                                        \
+  template void block_residual<Index, Value>(                                  \
+      ThreadPool&, const CsrMatrixT<Index, Value>&, const MultiVector&,        \
+      const MultiVector&, MultiVector&, int);
+
+ASYRGS_INSTANTIATE_SPMV(std::int64_t, double)
+ASYRGS_INSTANTIATE_SPMV(std::int32_t, double)
+ASYRGS_INSTANTIATE_SPMV(std::int32_t, float)
+
+#undef ASYRGS_INSTANTIATE_SPMV
 
 }  // namespace asyrgs

@@ -9,6 +9,10 @@
 //                   manner" — the paper's choice for its unstructured CG
 //                   baseline (Section 9).
 //  * kDynamic     - work-stealing chunks; robust default for skewed rows.
+//
+// Every entry point is templated over the CSR storage policy (definitions in
+// spmv.cpp, instantiated for the three supported policies); dense operands
+// stay double for every policy.
 #pragma once
 
 #include "asyrgs/linalg/multivector.hpp"
@@ -26,22 +30,28 @@ enum class RowPartition { kContiguous, kRoundRobin, kDynamic };
 /// workers never write the same entry.  The pool runs one team at a time —
 /// do not issue concurrent spmv calls against the same pool from different
 /// threads (nested calls from inside a team degrade to 1 worker instead).
-void spmv(ThreadPool& pool, const CsrMatrix& a, const double* x, double* y,
-          int workers = 0, RowPartition partition = RowPartition::kDynamic);
+template <class Index, class Value>
+void spmv(ThreadPool& pool, const CsrMatrixT<Index, Value>& a, const double* x,
+          double* y, int workers = 0,
+          RowPartition partition = RowPartition::kDynamic);
 
 /// Convenience overload over std::vector.
-void spmv(ThreadPool& pool, const CsrMatrix& a, const std::vector<double>& x,
-          std::vector<double>& y, int workers = 0,
-          RowPartition partition = RowPartition::kDynamic);
+template <class Index, class Value>
+void spmv(ThreadPool& pool, const CsrMatrixT<Index, Value>& a,
+          const std::vector<double>& x, std::vector<double>& y,
+          int workers = 0, RowPartition partition = RowPartition::kDynamic);
 
 /// Y = A X for a row-major block of vectors (fused over the block: each row
 /// of A is scanned once and applied to all columns of X).
-void spmv_block(ThreadPool& pool, const CsrMatrix& a, const MultiVector& x,
-                MultiVector& y, int workers = 0,
+template <class Index, class Value>
+void spmv_block(ThreadPool& pool, const CsrMatrixT<Index, Value>& a,
+                const MultiVector& x, MultiVector& y, int workers = 0,
                 RowPartition partition = RowPartition::kDynamic);
 
 /// R = B - A X (block residual, fused like spmv_block).
-void block_residual(ThreadPool& pool, const CsrMatrix& a, const MultiVector& b,
-                    const MultiVector& x, MultiVector& r, int workers = 0);
+template <class Index, class Value>
+void block_residual(ThreadPool& pool, const CsrMatrixT<Index, Value>& a,
+                    const MultiVector& b, const MultiVector& x, MultiVector& r,
+                    int workers = 0);
 
 }  // namespace asyrgs

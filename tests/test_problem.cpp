@@ -323,35 +323,56 @@ TEST(SolveOutcomeStatus, ConvergedToleranceMissedAndBudgetCompleted) {
   EXPECT_EQ(std::string(to_string(out.status)), "budget-completed");
 }
 
-TEST(BlockScanMode, DowngradeToPinnedIsSurfaced) {
+TEST(BlockScanMode, SmallBlocksHonourReassociatedWiderBlocksDowngrade) {
   ThreadPool pool(2);
   const CsrMatrix a = laplacian_2d(6, 6);
-  const MultiVector b = random_multivector(a.rows(), 3, 5);
   SpdProblem problem(pool, a);
 
   SolveControls controls;
   controls.sweeps = 4;
   controls.workers = 1;
   controls.scan = ScanMode::kReassociated;
-  MultiVector x(a.rows(), 3);
-  const SolveOutcome out = problem.solve(b, x, controls);
-  EXPECT_EQ(out.scan_requested, ScanMode::kReassociated);
-  EXPECT_EQ(out.scan_executed, ScanMode::kPinned);
-  EXPECT_NE(out.description.find("pinned"), std::string::npos);
 
-  // The legacy report surfaces the same downgrade.
+  // k <= 4: the register-resident small-K kernel honours the request.
+  {
+    const MultiVector b = random_multivector(a.rows(), 3, 5);
+    MultiVector x(a.rows(), 3);
+    const SolveOutcome out = problem.solve(b, x, controls);
+    EXPECT_EQ(out.scan_requested, ScanMode::kReassociated);
+    EXPECT_EQ(out.scan_executed, ScanMode::kReassociated);
+    EXPECT_EQ(out.description.find("pinned"), std::string::npos)
+        << out.description;
+
+    // The legacy report surfaces the same honoured request, bit-identically.
+    AsyncRgsOptions opt;
+    opt.sweeps = 4;
+    opt.workers = 1;
+    opt.scan = ScanMode::kReassociated;
+    MultiVector x_free(a.rows(), 3);
+    const AsyncRgsReport block_report =
+        async_rgs_solve_block(pool, a, b, x_free, opt);
+    EXPECT_EQ(block_report.scan_used, ScanMode::kReassociated);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      ASSERT_EQ(x.data()[i], x_free.data()[i]) << "i=" << i;
+  }
+
+  // k > 4: gamma no longer fits in registers; the pinned column-parallel
+  // kernel runs and the downgrade is surfaced.
+  {
+    const MultiVector b = random_multivector(a.rows(), 5, 5);
+    MultiVector x(a.rows(), 5);
+    const SolveOutcome out = problem.solve(b, x, controls);
+    EXPECT_EQ(out.scan_requested, ScanMode::kReassociated);
+    EXPECT_EQ(out.scan_executed, ScanMode::kPinned);
+    EXPECT_NE(out.description.find("pinned"), std::string::npos)
+        << out.description;
+  }
+
+  // The single-RHS kernels honour the request as before.
   AsyncRgsOptions opt;
   opt.sweeps = 4;
   opt.workers = 1;
   opt.scan = ScanMode::kReassociated;
-  MultiVector x_free(a.rows(), 3);
-  const AsyncRgsReport block_report =
-      async_rgs_solve_block(pool, a, b, x_free, opt);
-  EXPECT_EQ(block_report.scan_used, ScanMode::kPinned);
-  for (std::size_t i = 0; i < x.size(); ++i)
-    ASSERT_EQ(x.data()[i], x_free.data()[i]) << "i=" << i;
-
-  // The single-RHS kernels do honour the request.
   const std::vector<double> b1 = random_vector(a.rows(), 6);
   std::vector<double> x1(a.rows(), 0.0);
   const AsyncRgsReport single_report =

@@ -83,6 +83,7 @@ TEST(TraceFormat, JsonLineIsStableAndMachineParseable) {
   e.request_id = 42;
   e.kind = "lsq";
   e.status = "converged";
+  e.storage = "int32_double";
   e.shard = 3;
   e.priority = 0;
   e.warm_start = true;
@@ -91,7 +92,8 @@ TEST(TraceFormat, JsonLineIsStableAndMachineParseable) {
   e.done_seconds = 2.0;
   EXPECT_EQ(format_json_trace(e),
             "{\"type\":\"request\",\"id\":42,\"kind\":\"lsq\","
-            "\"status\":\"converged\",\"shard\":3,\"priority\":0,"
+            "\"status\":\"converged\",\"storage\":\"int32_double\","
+            "\"shard\":3,\"priority\":0,"
             "\"warm_start\":true,\"enqueue_us\":1500000,"
             "\"start_us\":1502000,\"done_us\":2000000}");
 }

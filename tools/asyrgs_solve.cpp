@@ -3,6 +3,7 @@
 //   asyrgs_solve --matrix A.mtx [--rhs b.mtx] [--out x.mtx]
 //                [--method auto|asyrgs|fcg|cg] [--tol 1e-8] [--threads 0]
 //                [--scan pinned|reassociated] [--repeat 1] [--shards 1]
+//                [--storage auto|int64|int32|mixed]
 //
 // Reads an SPD matrix (coordinate format, general or symmetric), prepares an
 // asyrgs::SpdProblem handle (validation + analysis paid once), solves
@@ -46,6 +47,10 @@ int main(int argc, char** argv) {
       "scan", "pinned",
       "row-scan FP association: pinned (bit-reproducible) | reassociated "
       "(fast-math SIMD; see docs/TUNING.md)");
+  auto storage = cli.add_string(
+      "storage", "auto",
+      "CSR storage policy: auto | int64 | int32 | mixed (int32 indices + "
+      "f32 values, double accumulation; see docs/TUNING.md)");
 
   try {
     cli.parse(argc, argv);
@@ -93,6 +98,17 @@ int main(int argc, char** argv) {
       controls.scan = ScanMode::kReassociated;
     else
       throw Error("unknown --scan (want pinned|reassociated)");
+    StorageMode storage_mode = StorageMode::kAuto;
+    if (*storage == "auto")
+      storage_mode = StorageMode::kAuto;
+    else if (*storage == "int64")
+      storage_mode = StorageMode::kInt64Double;
+    else if (*storage == "int32")
+      storage_mode = StorageMode::kInt32Double;
+    else if (*storage == "mixed")
+      storage_mode = StorageMode::kInt32Mixed;
+    else
+      throw Error("unknown --storage (want auto|int64|int32|mixed)");
 
     std::vector<double> x;
     SolveOutcome outcome;
@@ -103,6 +119,7 @@ int main(int argc, char** argv) {
       ServiceOptions service_options;
       service_options.shards = static_cast<int>(*shards);
       service_options.workers_per_shard = static_cast<int>(*threads);
+      service_options.storage = storage_mode;
       WallTimer prepare_timer;
       SolverService service(a, service_options);
       std::cerr << "prepared " << service.shards() << "-shard service ("
@@ -124,8 +141,10 @@ int main(int argc, char** argv) {
       // Prepare once (symmetry + diagonal validation, cached transpose,
       // scratch), then solve --repeat times against the handle.
       WallTimer prepare_timer;
-      SpdProblem problem(ThreadPool::global(), a, /*check_input=*/true);
-      std::cerr << "prepared handle in " << prepare_timer.seconds() << " s\n";
+      SpdProblem problem(ThreadPool::global(), a, /*check_input=*/true,
+                         storage_mode);
+      std::cerr << "prepared handle in " << prepare_timer.seconds()
+                << " s (storage: " << to_string(problem.storage()) << ")\n";
 
       for (std::int64_t run = 0; run < *repeat; ++run) {
         x.assign(static_cast<std::size_t>(a.rows()), 0.0);
@@ -138,6 +157,7 @@ int main(int argc, char** argv) {
     }
 
     std::cerr << "method: " << outcome.description << "\n"
+              << "storage: " << to_string(outcome.storage_used) << "\n"
               << "status: " << to_string(outcome.status)
               << "  iterations: " << outcome.iterations
               << "  time: " << outcome.seconds << " s\n"
