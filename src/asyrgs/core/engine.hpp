@@ -63,6 +63,13 @@ inline constexpr std::size_t kPrefetchDistance = 4;
 /// `pick`/`pick_in_sweep` evaluate one direction (kept for tests and as the
 /// executable specification); the `fill*` APIs produce the same draws in
 /// batches and are what the engine uses.
+///
+/// The deterministic virtual engine (simulate/virtual_engine.hpp) consumes
+/// this planner too: because the shared scope tiles ONE global Philox stream
+/// across workers (worker w owns positions {w, w+P, ...}), a team-1 plan
+/// enumerates the identical stream in global order — the virtual engine
+/// replays that global order on a single thread, so its direction multiset
+/// (and, at P = 1, the exact sequence) matches every real team size.
 class DirectionPlan {
  public:
   DirectionPlan(const AsyncRgsOptions& options, index_t n, int team)

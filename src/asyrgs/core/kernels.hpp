@@ -69,19 +69,19 @@ struct SingleRhsUpdate {
   double* x;
   double beta;
 
-  void operator()(int, index_t r, index_t r_ahead) const noexcept {
+  /// The relaxation increment beta * gamma_r = beta * (b_r - A_r x) / A_rr
+  /// computed from the current contents of x — the *compute* half of one
+  /// coordinate update, exposed as a seam so the deterministic virtual
+  /// engine (simulate/virtual_engine.hpp) can evaluate the identical kernel
+  /// arithmetic against a materialized stale snapshot, outside the
+  /// thread-pool loop.  operator() below is compute + apply; splitting the
+  /// two must not perturb the hot path (inlined back together, gated by the
+  /// pre-refactor golden hashes in tests/test_storage.cpp).
+  [[nodiscard]] double delta(index_t r) const noexcept {
     const nnz_t* __restrict rp = row_ptr;
     const Index* __restrict ci = cols;
     const Value* __restrict av = vals;
     const RhsDiagPair* __restrict bd = rhs_diag;
-    // The direction buffer makes the future known: pull an upcoming row's
-    // constants and the head of its index/value arrays into cache while this
-    // row's scan chain retires.
-    const nnz_t ahead_lo = rp[r_ahead];
-    __builtin_prefetch(&bd[r_ahead]);
-    __builtin_prefetch(&av[ahead_lo]);
-    __builtin_prefetch(&ci[ahead_lo]);
-    __builtin_prefetch(&x[r_ahead]);
     double acc = bd[r].b;
     const nnz_t lo = rp[r];
     const nnz_t hi = rp[r + 1];
@@ -91,11 +91,28 @@ struct SingleRhsUpdate {
       for (nnz_t t = lo; t < hi; ++t)
         acc -= av[t] * atomic_load_relaxed(x[ci[t]]);
     }
-    const double delta = beta * (acc * bd[r].inv_diag);
+    return beta * (acc * bd[r].inv_diag);
+  }
+
+  /// The *apply* half: commits a previously computed increment onto the
+  /// shared iterate with this kernel's atomicity mode.
+  void apply(index_t r, double d) const noexcept {
     if constexpr (kAtomicWrites)
-      atomic_add_relaxed(x[r], delta);
+      atomic_add_relaxed(x[r], d);
     else
-      racy_add(x[r], delta);
+      racy_add(x[r], d);
+  }
+
+  void operator()(int, index_t r, index_t r_ahead) const noexcept {
+    // The direction buffer makes the future known: pull an upcoming row's
+    // constants and the head of its index/value arrays into cache while this
+    // row's scan chain retires.
+    const nnz_t ahead_lo = row_ptr[r_ahead];
+    __builtin_prefetch(&rhs_diag[r_ahead]);
+    __builtin_prefetch(&vals[ahead_lo]);
+    __builtin_prefetch(&cols[ahead_lo]);
+    __builtin_prefetch(&x[r_ahead]);
+    apply(r, delta(r));
   }
 };
 

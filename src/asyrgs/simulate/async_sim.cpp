@@ -30,6 +30,7 @@ class Replay {
     }
     window_rows_.resize(static_cast<std::size_t>(tau) + 1, 0);
     window_deltas_.resize(static_cast<std::size_t>(tau) + 1, 0.0);
+    row_cache_.resize(static_cast<std::size_t>(a.rows()), 0.0);
   }
 
   /// Row of A * direction for step j (uniform over rows).
@@ -37,28 +38,31 @@ class Replay {
     return Philox4x32(options_.seed).index_at(j, a_.rows());
   }
 
-  /// b_r - A_r . x_current, computed with the canonical one-subtraction-
-  /// per-nonzero association shared with core/rgs so a zero-delay replay is
-  /// bit-identical to the sequential solver.
+  /// b_r - A_r . x_current, delegated to the canonical shared row scan
+  /// (sparse/csr.hpp) — one subtraction per nonzero in column order, the
+  /// association core/rgs and the update kernels use, so a zero-delay
+  /// replay is bit-identical to the sequential solver.
   [[nodiscard]] double residual_now(index_t r) const {
-    double acc = b_[r];
-    const auto cols = a_.row_cols(r);
-    const auto vals = a_.row_vals(r);
-    for (std::size_t t = 0; t < cols.size(); ++t)
-      acc -= vals[t] * x_[cols[t]];
-    return acc;
+    const nnz_t lo = a_.row_ptr()[r];
+    const nnz_t hi = a_.row_ptr()[static_cast<std::size_t>(r) + 1];
+    return csr_row_sub_dot(b_[r], a_.col_idx().data() + lo,
+                           a_.values().data() + lo, hi - lo, x_.data());
   }
 
   /// Correction term sum over a stale update t: A(r, row_t) * delta_t —
   /// subtracting it from A_r . x_current "un-applies" update t for this
-  /// read.
-  [[nodiscard]] double unapply(index_t r, std::uint64_t t) const {
+  /// read.  The entry lookup goes through a dense scatter of row r (loaded
+  /// once per row change) instead of a per-call binary search: the window
+  /// loop's innermost operation drops from O(log nnz(r)) to O(1), with the
+  /// identical A(r, row_t) value (0.0 for absent entries), so the replayed
+  /// arithmetic is unchanged bit for bit.
+  [[nodiscard]] double unapply(index_t r, std::uint64_t t) {
     const std::size_t slot = static_cast<std::size_t>(t % window_rows_.size());
     const index_t row_t = window_rows_[slot];
     const double delta_t = window_deltas_[slot];
     if (delta_t == 0.0) return 0.0;
-    const double arj = a_.at(r, row_t);
-    return arj * delta_t;
+    load_row_cache(r);
+    return row_cache_[static_cast<std::size_t>(row_t)] * delta_t;
   }
 
   /// Applies update j: x_{r} += beta * gamma and records it in the window.
@@ -99,6 +103,24 @@ class Replay {
   [[nodiscard]] double inv_diag_at(index_t r) const { return inv_diag_[r]; }
 
  private:
+  /// Scatters row r's values into the dense cache, clearing the previously
+  /// cached row through its own column list (O(nnz) on a row change, free
+  /// while r repeats — and every unapply call within one replay step shares
+  /// the same reading row).
+  void load_row_cache(index_t r) {
+    if (cached_row_ == r) return;
+    if (cached_row_ >= 0) {
+      const auto old_cols = a_.row_cols(cached_row_);
+      for (std::size_t t = 0; t < old_cols.size(); ++t)
+        row_cache_[static_cast<std::size_t>(old_cols[t])] = 0.0;
+    }
+    const auto cols = a_.row_cols(r);
+    const auto vals = a_.row_vals(r);
+    for (std::size_t t = 0; t < cols.size(); ++t)
+      row_cache_[static_cast<std::size_t>(cols[t])] = vals[t];
+    cached_row_ = r;
+  }
+
   const CsrMatrix& a_;
   const std::vector<double>& b_;
   const std::vector<double>& x_star_;
@@ -107,6 +129,8 @@ class Replay {
   SimOptions options_;
   std::vector<index_t> window_rows_;
   std::vector<double> window_deltas_;
+  std::vector<double> row_cache_;
+  index_t cached_row_ = -1;
 };
 
 }  // namespace

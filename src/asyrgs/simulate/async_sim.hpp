@@ -13,7 +13,13 @@
 // with delay schedules from delay_models.hpp.  Stale states are
 // reconstructed from a ring buffer of the last tau updates — x_{k(j)} is
 // x_j minus the updates in (k(j), j), each touching a single coordinate —
-// so a step costs O(nnz(row) + tau log nnz(row)).
+// so a step costs O(nnz(row) + tau): the row scan is the shared
+// csr_row_sub_dot kernel and each stale correction is an O(1) lookup in a
+// dense scatter of the reading row.
+//
+// The companion virtual engine (virtual_engine.hpp) executes the same
+// governing iterations through the *production* update kernel instead of
+// this replay arithmetic; the two cross-check each other in the tests.
 //
 // The simulator records ||x_j - x*||_A^2, the quantity whose expectation
 // E_m the theorems bound; tests and the tau-ablation bench average it over

@@ -179,6 +179,10 @@ class BernoulliInclusion final : public InconsistentDelayModel {
     require(p >= 0.0 && p <= 1.0, "BernoulliInclusion: p must be in [0,1]");
   }
   [[nodiscard]] bool includes(std::uint64_t j, std::uint64_t t) const override {
+    // A-3' as an interface: anything older than tau is always visible.
+    // Inside the window (where the simulator actually asks), the clause is
+    // never taken and the Bernoulli draw decides as before.
+    if (t + static_cast<std::uint64_t>(tau_) < j) return true;
     // Key the draw by the (j, t) pair: mix t into the high counter word.
     const auto block = prng_.block(t, j);
     const double u = static_cast<double>(block[0]) * 0x1.0p-32;
@@ -202,8 +206,11 @@ class WindowExclusion final : public InconsistentDelayModel {
   explicit WindowExclusion(index_t tau) : tau_(tau) {
     require(tau >= 0, "WindowExclusion: tau must be non-negative");
   }
-  [[nodiscard]] bool includes(std::uint64_t, std::uint64_t) const override {
-    return false;  // the simulator only asks about the tau window
+  [[nodiscard]] bool includes(std::uint64_t j, std::uint64_t t) const override {
+    // Honour the A-3' contract as an *interface*, not just inside the
+    // simulator's tau window: updates older than tau are always included
+    // (t + tau < j), everything inside the window is excluded.
+    return t + static_cast<std::uint64_t>(tau_) < j;
   }
   [[nodiscard]] index_t tau() const override { return tau_; }
   [[nodiscard]] std::string name() const override {

@@ -138,6 +138,41 @@ double inconsistent_free_running_bound(const TheoremInputs& in,
   return first * std::pow(std::max(later, 0.0), static_cast<double>(r - 1));
 }
 
+namespace {
+
+EnvelopeCheck make_check(bool applicable, double envelope, double error0_sq,
+                         double error_m_sq, std::uint64_t m, double slack) {
+  require(error0_sq > 0.0, "envelope check: initial error must be positive");
+  require(slack >= 1.0, "envelope check: slack must be >= 1");
+  EnvelopeCheck check;
+  check.applicable = applicable;
+  check.measured_ratio = error_m_sq / error0_sq;
+  check.envelope = envelope;
+  check.m = m;
+  check.conforms = applicable && check.measured_ratio <= slack * envelope;
+  return check;
+}
+
+}  // namespace
+
+EnvelopeCheck check_consistent_envelope(const TheoremInputs& in,
+                                        double error0_sq, double error_m_sq,
+                                        std::uint64_t m, double slack) {
+  const bool applicable = consistent_bound_applicable(in);
+  const double envelope =
+      applicable ? consistent_free_running_bound(in, m) : 1.0;
+  return make_check(applicable, envelope, error0_sq, error_m_sq, m, slack);
+}
+
+EnvelopeCheck check_inconsistent_envelope(const TheoremInputs& in,
+                                          double error0_sq, double error_m_sq,
+                                          std::uint64_t m, double slack) {
+  const bool applicable = inconsistent_bound_applicable(in);
+  const double envelope =
+      applicable ? inconsistent_free_running_bound(in, m) : 1.0;
+  return make_check(applicable, envelope, error0_sq, error_m_sq, m, slack);
+}
+
 std::uint64_t synchronous_iterations_for(index_t n, double lambda_min,
                                          double beta, double eps,
                                          double delta) {

@@ -107,6 +107,36 @@ class ThreadPool;
 [[nodiscard]] double inconsistent_free_running_bound(const TheoremInputs& in,
                                                      std::uint64_t m);
 
+// --- Conformance of measured decay -------------------------------------------
+
+/// Verdict of placing a measured error ratio next to a theorem envelope.
+/// Produced by the check_* helpers below; consumed by the simulation
+/// conformance tests and the asyrgs_sim tool.
+struct EnvelopeCheck {
+  bool applicable = false;  ///< the theorem's precondition held
+  bool conforms = false;    ///< measured <= slack * envelope (false if n/a)
+  double measured_ratio = 0.0;  ///< E_m / E_0 as measured
+  double envelope = 1.0;        ///< the theorem's bound on E_m / E_0
+  std::uint64_t m = 0;          ///< update count the check evaluated
+};
+
+/// Places a measured consistent-read decay E_m / E_0 against the Theorem
+/// 2/3 free-running envelope.  `applicable` reports the 2 rho tau beta^2
+/// precondition (nu_tau > 0) — checked, never assumed; `conforms` is only
+/// meaningful when it is true.  `slack` > 1 absorbs the sampling noise of
+/// averaging finitely many trials of a bound that holds in expectation.
+[[nodiscard]] EnvelopeCheck check_consistent_envelope(const TheoremInputs& in,
+                                                      double error0_sq,
+                                                      double error_m_sq,
+                                                      std::uint64_t m,
+                                                      double slack = 1.0);
+
+/// Theorem 4 analogue for the inconsistent-read model (precondition
+/// omega_tau > 0, i.e. beta (1 - beta - rho2 tau^2 beta / 2) > 0).
+[[nodiscard]] EnvelopeCheck check_inconsistent_envelope(
+    const TheoremInputs& in, double error0_sq, double error_m_sq,
+    std::uint64_t m, double slack = 1.0);
+
 /// Markov-style iteration count (Section 3): smallest m with
 /// Pr(||x_m - x*||_A >= eps ||x_0 - x*||_A) <= delta for the synchronous
 /// method: m >= n / (beta(2-beta) lambda_min) * ln(1 / (delta eps^2)).

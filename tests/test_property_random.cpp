@@ -305,6 +305,78 @@ TEST_P(SeededTest, FcgDirectionsAreAConjugate) {
             rep.base.residual_history.front());
 }
 
+TEST_P(SeededTest, ConsistentDelayModelsHonourAssumptionA3) {
+  // A-3 as an *interface contract*: every ConsistentDelayModel must return
+  // max(0, j - tau) <= snapshot(j) <= j for arbitrary j, whatever its
+  // internal randomization.
+  const std::uint64_t seed = GetParam();
+  std::vector<std::unique_ptr<ConsistentDelayModel>> models;
+  models.push_back(std::make_unique<ZeroDelay>());
+  models.push_back(std::make_unique<FixedDelay>(17));
+  models.push_back(std::make_unique<UniformDelay>(23, seed));
+  models.push_back(std::make_unique<BatchDelay>(12));
+
+  Xoshiro256 rng(seed * 7919 + 1);
+  for (const auto& model : models) {
+    const std::uint64_t tau = static_cast<std::uint64_t>(model->tau());
+    for (int trial = 0; trial < 400; ++trial) {
+      // Mix small j (window clipped at zero) with large j.
+      const std::uint64_t j = trial < 50
+                                  ? static_cast<std::uint64_t>(trial)
+                                  : rng() % 1000000;
+      const std::uint64_t k = model->snapshot(j);
+      EXPECT_LE(k, j) << model->name() << " at j=" << j;
+      EXPECT_GE(k, j > tau ? j - tau : 0) << model->name() << " at j=" << j;
+    }
+  }
+}
+
+TEST_P(SeededTest, InconsistentDelayModelsHonourAssumptionA3Prime) {
+  // A-3' as an *interface contract*: every InconsistentDelayModel must
+  // include all updates older than tau (t + tau < j => includes), and its
+  // excluded_in_window output must agree with includes() pointwise.
+  const std::uint64_t seed = GetParam();
+  std::vector<std::unique_ptr<InconsistentDelayModel>> models;
+  models.push_back(
+      std::make_unique<PrefixInclusion>(std::make_unique<UniformDelay>(
+          19, seed + 1)));
+  models.push_back(std::make_unique<BernoulliInclusion>(15, 0.4, seed + 2));
+  models.push_back(std::make_unique<WindowExclusion>(11));
+
+  Xoshiro256 rng(seed * 104729 + 3);
+  std::vector<std::uint64_t> excluded;
+  for (const auto& model : models) {
+    const std::uint64_t tau = static_cast<std::uint64_t>(model->tau());
+    for (int trial = 0; trial < 150; ++trial) {
+      const std::uint64_t j = trial < 30
+                                  ? static_cast<std::uint64_t>(trial)
+                                  : rng() % 100000;
+      // Everything older than tau is always visible.
+      for (int probe = 0; probe < 20; ++probe) {
+        const std::uint64_t age = tau + 1 + rng() % 1000;
+        if (j < age) continue;
+        EXPECT_TRUE(model->includes(j, j - age))
+            << model->name() << " hides update of age " << age << " > tau="
+            << tau << " at j=" << j;
+      }
+      // excluded_in_window is exactly the complement of includes() on the
+      // window.
+      const std::uint64_t window_start = j > tau ? j - tau : 0;
+      excluded.clear();
+      model->excluded_in_window(j, window_start, excluded);
+      std::size_t pos = 0;
+      for (std::uint64_t t = window_start; t < j; ++t) {
+        const bool in_excluded =
+            pos < excluded.size() && excluded[pos] == t && (++pos != 0);
+        EXPECT_EQ(model->includes(j, t), !in_excluded)
+            << model->name() << " disagrees at (j=" << j << ", t=" << t
+            << ")";
+      }
+      EXPECT_EQ(pos, excluded.size());
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
                          ::testing::Values<std::uint64_t>(1, 2, 3, 5, 8, 13));
 

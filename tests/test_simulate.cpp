@@ -11,6 +11,7 @@
 #include "asyrgs/linalg/norms.hpp"
 #include "asyrgs/simulate/async_sim.hpp"
 #include "asyrgs/sparse/scale.hpp"
+#include "asyrgs/support/prng.hpp"
 
 namespace asyrgs {
 namespace {
@@ -176,6 +177,53 @@ TEST(Simulate, RecordsErrorHistoryAtRequestedCadence) {
   // Error at j=0 is the initial error; trajectory decreases overall.
   EXPECT_LT(sim.error_sq_history.back(), sim.error_sq_history.front());
   EXPECT_LE(sim.final_error_sq, sim.error_sq_history.back());
+}
+
+TEST(Simulate, ScatterCacheCorrectionsMatchBinarySearchReference) {
+  // The replay's stale-update corrections now read A(r, row_t) from a dense
+  // scatter of row r; this reference re-implements iteration (8) with the
+  // pre-optimization per-lookup binary search (CsrMatrix::at) and must match
+  // the shipped simulator bit for bit — same entry values, same summation
+  // order, only the lookup mechanism differs.
+  SimProblem p = unit_problem(56, 19);
+  SimOptions opt;
+  opt.iterations = 56 * 8;
+  opt.seed = 37;
+  opt.step_size = 0.9;
+  const index_t tau = 11;
+  const FixedDelay delay(tau);
+  const SimResult sim =
+      simulate_consistent(p.a, p.b, p.x0, p.x_star, delay, opt);
+
+  const index_t n = p.a.rows();
+  std::vector<double> inv_diag = p.a.diagonal();
+  for (double& d : inv_diag) d = 1.0 / d;
+  std::vector<double> x = p.x0;
+  std::vector<index_t> window_rows(static_cast<std::size_t>(tau) + 1, 0);
+  std::vector<double> window_deltas(static_cast<std::size_t>(tau) + 1, 0.0);
+  const Philox4x32 dirs(opt.seed);
+  for (std::uint64_t j = 0; j < opt.iterations; ++j) {
+    const index_t r = dirs.index_at(j, n);
+    double resid = p.b[r];
+    const auto cols = p.a.row_cols(r);
+    const auto vals = p.a.row_vals(r);
+    for (std::size_t t = 0; t < cols.size(); ++t)
+      resid -= vals[t] * x[cols[t]];
+    for (std::uint64_t t = delay.snapshot(j); t < j; ++t) {
+      const std::size_t slot =
+          static_cast<std::size_t>(t % window_rows.size());
+      if (window_deltas[slot] == 0.0) continue;
+      resid += p.a.at(r, window_rows[slot]) * window_deltas[slot];
+    }
+    const double delta_j = opt.step_size * (resid * inv_diag[r]);
+    x[static_cast<std::size_t>(r)] += delta_j;
+    const std::size_t slot = static_cast<std::size_t>(j % window_rows.size());
+    window_rows[slot] = r;
+    window_deltas[slot] = delta_j;
+  }
+  ASSERT_EQ(sim.x.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(sim.x[i], x[i]) << "entry " << i;
 }
 
 TEST(Simulate, RejectsBadInputs) {

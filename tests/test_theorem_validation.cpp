@@ -14,6 +14,7 @@
 #include "asyrgs/linalg/lanczos.hpp"
 #include "asyrgs/linalg/norms.hpp"
 #include "asyrgs/simulate/async_sim.hpp"
+#include "asyrgs/simulate/virtual_engine.hpp"
 #include "asyrgs/sparse/properties.hpp"
 #include "asyrgs/sparse/scale.hpp"
 #include "asyrgs/support/thread_pool.hpp"
@@ -197,6 +198,92 @@ TEST_P(Theorem4Test, InconsistentDecayWithinEpochBound) {
 
 INSTANTIATE_TEST_SUITE_P(TauSweep, Theorem4Test,
                          ::testing::Values<index_t>(1, 4, 10));
+
+// --- Virtual-worker conformance (production kernel, P = 64 / 256) -------------
+//
+// The tests above replay the governing iterations; these run the *shipped*
+// update kernel through the deterministic virtual engine at worker counts
+// far beyond the host (64 and 256), and require the measured decay to stay
+// under the Theorem 2 / Theorem 4 envelopes.  The problem dimension scales
+// with P so the preconditions genuinely hold — and they are asserted, never
+// assumed.
+
+struct VirtualWorkerCase {
+  int processors;
+  index_t n;  ///< sized so 2 rho tau < 1 at tau = P - 1
+};
+
+class VirtualWorkerEnvelopeTest
+    : public ::testing::TestWithParam<VirtualWorkerCase> {};
+
+TEST_P(VirtualWorkerEnvelopeTest, ConsistentDecayUnderTheorem2Envelope) {
+  const auto [processors, n] = GetParam();
+  const index_t tau = static_cast<index_t>(processors) - 1;
+  ValidationProblem p = make_problem(n, tau, 1.0);
+  ASSERT_TRUE(consistent_bound_applicable(p.inputs))
+      << "2 rho tau = " << 2.0 * p.inputs.rho * static_cast<double>(tau);
+
+  const std::uint64_t epoch = theorem_t0(p.inputs.n, p.inputs.lambda_max) +
+                              static_cast<std::uint64_t>(tau);
+  const std::uint64_t m = 4 * epoch;
+  const BatchDelay delay(processors);
+
+  const double mean_err = mean_final_error(5, [&](std::uint64_t seed) {
+    VirtualEngineOptions opt;
+    opt.iterations = m;
+    opt.seed = 29000 + seed;
+    return run_virtual_consistent(p.a, p.b, p.x0, p.x_star, delay, opt)
+        .final_error_sq;
+  });
+  const EnvelopeCheck check =
+      check_consistent_envelope(p.inputs, p.e0, mean_err, m, /*slack=*/1.5);
+  ASSERT_TRUE(check.applicable);
+  EXPECT_TRUE(check.conforms)
+      << "P=" << processors << ": measured E_m/E_0 = " << check.measured_ratio
+      << " vs envelope = " << check.envelope;
+}
+
+TEST_P(VirtualWorkerEnvelopeTest, InconsistentDecayUnderTheorem4Envelope) {
+  const auto [processors, n] = GetParam();
+  ValidationProblem p = make_problem(n, 0, 1.0);
+  const std::uint64_t m = static_cast<std::uint64_t>(processors) * 40 + 3000;
+
+  double mean_err = 0.0;
+  double mean_envelope = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    EventSimOptions event;
+    event.processors = processors;
+    event.iterations = m;
+    event.seed = 31000 + static_cast<std::uint64_t>(t);
+    const EventDrivenSchedule schedule = EventDrivenSchedule::build(p.a, event);
+
+    // tau-hat is measured from the realized schedule; the Theorem 4 optimal
+    // step for that tau-hat keeps omega positive — still asserted.
+    TheoremInputs in = p.inputs;
+    in.tau = schedule.tau();
+    in.beta = optimal_beta_inconsistent(in.rho2, in.tau);
+    ASSERT_TRUE(inconsistent_bound_applicable(in))
+        << "P=" << processors << " tau-hat=" << in.tau;
+
+    VirtualEngineOptions opt;
+    opt.iterations = m;
+    opt.seed = event.seed;  // consume the schedule's direction stream
+    opt.step_size = in.beta;
+    mean_err +=
+        run_virtual_inconsistent(p.a, p.b, p.x0, p.x_star, schedule, opt)
+            .final_error_sq;
+    mean_envelope += inconsistent_free_running_bound(in, m);
+  }
+  mean_err /= trials;
+  mean_envelope /= trials;
+  EXPECT_LT(mean_err / p.e0, 1.5 * mean_envelope)
+      << "P=" << processors << ": measured mean E_m/E_0 = " << mean_err / p.e0;
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerSweep, VirtualWorkerEnvelopeTest,
+                         ::testing::Values(VirtualWorkerCase{64, 600},
+                                           VirtualWorkerCase{256, 1500}));
 
 // --- Boundary behaviour -----------------------------------------------------------
 
