@@ -193,10 +193,14 @@ struct Measurement {
   std::string engine;    // "legacy" | "current"
   std::string mode;      // "free_running" | "barrier_residual" |
                          // "prepare_amortization" | "serving_throughput" |
-                         // "storage_policy" | "block_small_k"
+                         // "storage_policy" | "block_small_k" |
+                         // "sampling_policy" | "kaczmarz_row_action"
   std::string scan;      // "pinned" | "reassociated" (legacy is always pinned)
   std::string storage;   // CSR policy the row's kernels ran against (v7):
                          // "int64_double" | "int32_double" | "int32_mixed"
+  std::string sampling;  // direction distribution (v9, sampling_policy and
+                         // kaczmarz_row_action rows): "uniform" | "weighted"
+                         // | "residual"
   int workers = 0;
   long long updates = 0;
   double seconds = 0.0;
@@ -218,6 +222,20 @@ struct StoragePoint {
   double int64_ups = 0.0;
   double int32_ups = 0.0;
   double mixed_ups = 0.0;
+};
+
+/// One sampling-policy comparison (schema v9): prepared-handle
+/// updates/second under each direction-draw distribution, per workload, at
+/// 1 worker under barrier-per-sweep (the residual policy needs the
+/// rendezvous for its table refresh, so every policy is measured under the
+/// identical sync regime).  The deltas are pure draw-path cost: uniform is
+/// the raw 128-bit-multiply reduction, weighted adds one alias-table lookup
+/// per draw, residual adds the periodic rebuild on top.
+struct SamplingPoint {
+  std::string workload;
+  double uniform_ups = 0.0;
+  double weighted_ups = 0.0;
+  double residual_ups = 0.0;
 };
 
 /// Cold-vs-prepared solve latency for one solver family (schema v4; the
@@ -374,6 +392,10 @@ int main(int argc, char** argv) {
   AmortizationPoint amor_spd, amor_lsq;
   const int amor_sweeps = *smoke ? 2 : 4;
   std::vector<StoragePoint> storage_points;
+  std::vector<SamplingPoint> sampling_points;
+  double kaczmarz_uniform_ups = 0.0, kaczmarz_weighted_ups = 0.0;
+  index_t kaczmarz_rows = 0, kaczmarz_cols = 0;
+  nnz_t kaczmarz_nnz = 0;
   double block_pinned_ups = 0.0, block_reassoc_ups = 0.0;
   std::string block_scan_executed = "pinned";
   const int block_k = 4;  // widest count the reassociated block kernel serves
@@ -558,6 +580,119 @@ int main(int argc, char** argv) {
           else
             point->mixed_ups = m.updates_per_second;
         }
+      }
+    }
+
+    // --- sampling-policy sweep (schema v9) -------------------------------
+    // Updates/second of the prepared handle under each direction
+    // distribution, 1 worker, pinned scan, barrier-per-sweep on both Gram
+    // regimes.  Measures what the non-uniform draw path costs (alias-table
+    // lookup per draw; periodic rebuild for the residual policy) — the
+    // convergence side of the trade is docs/TUNING.md territory.
+    {
+      SpdProblem handle(pool, a, /*check_input=*/false);
+      SamplingPoint point;
+      point.workload = spec.name;
+      struct PolicyRun {
+        SamplingPolicy policy;
+        const char* name;
+      };
+      for (const PolicyRun policy :
+           {PolicyRun{SamplingPolicy::kUniform, "uniform"},
+            PolicyRun{SamplingPolicy::kWeighted, "weighted"},
+            PolicyRun{SamplingPolicy::kResidual, "residual"}}) {
+        SolveControls sc;
+        sc.method = SpdMethod::kAsyncRgs;
+        sc.sweeps = n_sweeps;
+        sc.workers = 1;
+        sc.seed = 1;
+        sc.sync = SyncMode::kBarrierPerSweep;
+        sc.sampling = policy.policy;
+        const double secs = time_run([&](std::vector<double>& x) {
+          return handle.solve(b, x, sc).seconds;
+        });
+        Measurement m;
+        m.workload = spec.name;
+        m.engine = "current";
+        m.mode = "sampling_policy";
+        m.scan = "pinned";
+        m.storage = auto_storage;
+        m.sampling = policy.name;
+        m.workers = 1;
+        m.updates = static_cast<long long>(n_sweeps) * n;
+        m.seconds = secs;
+        m.updates_per_second = static_cast<double>(m.updates) / secs;
+        results.push_back(m);
+        table.add_row({spec.name, "1", "current",
+                       std::string("sampling/") + policy.name, "pinned",
+                       fmt_sci(m.updates_per_second),
+                       fmt_fixed(1e9 * secs / static_cast<double>(m.updates),
+                                 1),
+                       "-"});
+        if (policy.policy == SamplingPolicy::kUniform)
+          point.uniform_ups = m.updates_per_second;
+        else if (policy.policy == SamplingPolicy::kWeighted)
+          point.weighted_ups = m.updates_per_second;
+        else
+          point.residual_ups = m.updates_per_second;
+      }
+      sampling_points.push_back(std::move(point));
+    }
+
+    // --- asynchronous Kaczmarz on the rectangular factor (headline only) --
+    // The row-action method served by LsqProblem, run on the m x n
+    // document-term matrix F (the system the Gram workload squares away),
+    // with never-used term columns compressed out — the corpus factor can
+    // carry zero columns, which the handle's rank check rejects.  One
+    // update projects onto a row hyperplane, so updates/second is
+    // row-projections/second.  Uniform vs the Strohmer-Vershynin
+    // norm-weighted draw under the identical budget.
+    if (spec.name == workloads.front().name) {
+      const CsrMatrix f = drop_empty_columns(system.factor).matrix;
+      kaczmarz_rows = f.rows();
+      kaczmarz_cols = f.cols();
+      kaczmarz_nnz = f.nnz();
+      LsqProblem lsq(pool, f);
+      const std::vector<double> rhs =
+          random_vector(f.rows(), 11);
+      const int kz_sweeps = std::max(1, n_sweeps / 4);
+      for (const SamplingPolicy policy :
+           {SamplingPolicy::kUniform, SamplingPolicy::kWeighted}) {
+        SolveControls sc;
+        sc.method = SpdMethod::kAsyncKaczmarz;
+        sc.sweeps = kz_sweeps;
+        sc.workers = 1;
+        sc.seed = 1;
+        sc.sync = SyncMode::kBarrierPerSweep;
+        sc.sampling = policy;
+        double best = 1e300;
+        for (int rep = 0; rep < n_repeats; ++rep) {
+          std::vector<double> x(static_cast<std::size_t>(f.cols()), 0.0);
+          best = std::min(best, lsq.solve(rhs, x, sc).seconds);
+        }
+        Measurement m;
+        m.workload = spec.name;
+        m.engine = "current";
+        m.mode = "kaczmarz_row_action";
+        m.scan = "pinned";
+        m.storage = to_string(lsq.storage());
+        m.sampling = policy == SamplingPolicy::kWeighted ? "weighted"
+                                                         : "uniform";
+        m.workers = 1;
+        m.updates = static_cast<long long>(kz_sweeps) * f.rows();
+        m.seconds = best;
+        m.updates_per_second = static_cast<double>(m.updates) / best;
+        results.push_back(m);
+        table.add_row({spec.name, "1", "current",
+                       std::string("kaczmarz/") + m.sampling, "pinned",
+                       fmt_sci(m.updates_per_second),
+                       fmt_fixed(1e9 * best / static_cast<double>(m.updates),
+                                 1),
+                       "-"});
+        if (policy == SamplingPolicy::kWeighted)
+          kaczmarz_weighted_ups = m.updates_per_second;
+        else
+          kaczmarz_uniform_ups = m.updates_per_second;
       }
     }
 
@@ -986,6 +1121,38 @@ int main(int argc, char** argv) {
               << "x)\n";
   }
 
+  // --- sampling headline ----------------------------------------------------
+  // Draw-path cost of the non-uniform policies on both Gram regimes
+  // (1 worker, pinned, barrier-per-sweep).  Ratios < 1 are pure sampling
+  // overhead per update; the convergence payoff is workload-dependent.
+  for (const SamplingPoint& p : sampling_points) {
+    std::cout << "# sampling headline (" << p.workload
+              << ", barrier, 1 worker, pinned scan): uniform="
+              << fmt_sci(p.uniform_ups)
+              << " weighted=" << fmt_sci(p.weighted_ups) << " ("
+              << fmt_fixed(
+                     p.uniform_ups > 0 ? p.weighted_ups / p.uniform_ups : 0.0,
+                     2)
+              << "x) residual=" << fmt_sci(p.residual_ups) << " ("
+              << fmt_fixed(
+                     p.uniform_ups > 0 ? p.residual_ups / p.uniform_ups : 0.0,
+                     2)
+              << "x)\n";
+  }
+
+  // --- kaczmarz headline ----------------------------------------------------
+  std::cout << "# kaczmarz headline (row action on the " << kaczmarz_rows
+            << "x" << kaczmarz_cols << " factor, " << kaczmarz_nnz
+            << " nnz, barrier, 1 worker): uniform="
+            << fmt_sci(kaczmarz_uniform_ups)
+            << " weighted=" << fmt_sci(kaczmarz_weighted_ups)
+            << " row-projections/s ("
+            << fmt_fixed(kaczmarz_uniform_ups > 0
+                             ? kaczmarz_weighted_ups / kaczmarz_uniform_ups
+                             : 0.0,
+                         2)
+            << "x)\n";
+
   // --- block small-k headline ----------------------------------------------
   const double block_speedup =
       block_pinned_ups > 0.0 ? block_reassoc_ups / block_pinned_ups : 0.0;
@@ -1059,7 +1226,7 @@ int main(int argc, char** argv) {
       (*out_path).empty() ? "BENCH_" + *label + ".json" : *out_path;
   std::ofstream json(path);
   json << "{\n"
-       << "  \"schema_version\": 7,\n"
+       << "  \"schema_version\": 9,\n"
        << "  \"bench\": \"bench_updates\",\n"
        << "  \"label\": \"" << json_escape(*label) << "\",\n"
        << "  \"git\": \"" << json_escape(*git_rev) << "\",\n"
@@ -1090,6 +1257,8 @@ int main(int argc, char** argv) {
          << ", \"seconds\": " << m.seconds
          << ", \"updates_per_second\": " << m.updates_per_second;
     if (m.mode == "block_small_k") json << ", \"block_k\": " << m.block_k;
+    if (!m.sampling.empty())
+      json << ", \"sampling\": \"" << m.sampling << "\"";
     if (m.mode == "barrier_residual")
       json << ", \"residual_cost_per_sweep_seconds\": "
            << m.residual_cost_per_sweep;
@@ -1127,6 +1296,32 @@ int main(int argc, char** argv) {
          << (i + 1 < storage_points.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"sampling_headline\": [\n";
+  for (std::size_t i = 0; i < sampling_points.size(); ++i) {
+    const SamplingPoint& p = sampling_points[i];
+    json << "    {\"workload\": \"" << p.workload
+         << "\", \"mode\": \"barrier_per_sweep\", \"workers\": 1"
+         << ", \"uniform_updates_per_second\": " << p.uniform_ups
+         << ", \"weighted_updates_per_second\": " << p.weighted_ups
+         << ", \"residual_updates_per_second\": " << p.residual_ups
+         << ", \"weighted_ratio\": "
+         << (p.uniform_ups > 0.0 ? p.weighted_ups / p.uniform_ups : 0.0)
+         << ", \"residual_ratio\": "
+         << (p.uniform_ups > 0.0 ? p.residual_ups / p.uniform_ups : 0.0)
+         << "}" << (i + 1 < sampling_points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"kaczmarz_headline\": {\"workload\": \"" << headline_workload
+       << "\", \"rows\": " << kaczmarz_rows
+       << ", \"cols\": " << kaczmarz_cols << ", \"nnz\": " << kaczmarz_nnz
+       << ", \"mode\": \"barrier_per_sweep\", \"workers\": 1"
+       << ", \"uniform_updates_per_second\": " << kaczmarz_uniform_ups
+       << ", \"weighted_updates_per_second\": " << kaczmarz_weighted_ups
+       << ", \"weighted_ratio\": "
+       << (kaczmarz_uniform_ups > 0.0
+               ? kaczmarz_weighted_ups / kaczmarz_uniform_ups
+               : 0.0)
+       << "},\n"
        << "  \"block_headline\": {\"workload\": \"" << headline_workload
        << "\", \"block_k\": " << block_k << ", \"workers\": 1"
        << ", \"scan_executed\": \"" << block_scan_executed << "\""

@@ -44,9 +44,10 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" \
 
 echo "bench.sh: wrote BENCH_${label}.json"
 
-# Side-by-side scan-mode, storage-policy, block-kernel, prepare-amortization,
-# serving-throughput, and overload summaries (schema v7: docs/TUNING.md).
-# Best effort — the JSON is the artifact; these lines are for the terminal.
+# Side-by-side scan-mode, storage-policy, sampling-policy, kaczmarz,
+# block-kernel, prepare-amortization, serving-throughput, and overload
+# summaries (schema v9: docs/TUNING.md).  Best effort — the JSON is the
+# artifact; these lines are for the terminal.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "BENCH_${label}.json" <<'PYEOF'
 import json, sys
@@ -66,6 +67,19 @@ for t in d.get("storage_headline", []):
              t["int64_double_updates_per_second"],
              t["int32_double_updates_per_second"], t["int32_speedup"],
              t["int32_mixed_updates_per_second"], t["mixed_speedup"]))
+for t in d.get("sampling_headline", []):
+    print("bench.sh: sampling (%s, 1 worker, barrier): uniform=%.3g "
+          "weighted=%.3g (%.2fx) residual=%.3g (%.2fx) upd/s"
+          % (t["workload"], t["uniform_updates_per_second"],
+             t["weighted_updates_per_second"], t["weighted_ratio"],
+             t["residual_updates_per_second"], t["residual_ratio"]))
+z = d.get("kaczmarz_headline")
+if z:
+    print("bench.sh: kaczmarz (%dx%d factor, %d nnz, 1 worker): "
+          "uniform=%.3g weighted=%.3g row-projections/s (%.2fx)"
+          % (z["rows"], z["cols"], z["nnz"],
+             z["uniform_updates_per_second"],
+             z["weighted_updates_per_second"], z["weighted_ratio"]))
 k = d.get("block_headline")
 if k:
     print("bench.sh: block k=%d (%s, 1 worker, executed %s): pinned=%.3g "

@@ -26,11 +26,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "asyrgs/core/async_rgs.hpp"
+#include "asyrgs/sampling/direction_sampler.hpp"
 #include "asyrgs/support/aligned.hpp"
 #include "asyrgs/support/barrier.hpp"
 #include "asyrgs/support/prng.hpp"
@@ -70,10 +73,26 @@ inline constexpr std::size_t kPrefetchDistance = 4;
 /// enumerates the identical stream in global order — the virtual engine
 /// replays that global order on a single thread, so its direction multiset
 /// (and, at P = 1, the exact sequence) matches every real team size.
+///
+/// An optional DirectionSampler generalizes WHAT each stream position
+/// draws (sampling/direction_sampler.hpp): a null or kUniform sampler
+/// keeps the exact pre-sampling code path (same fill_indices_strided
+/// calls, byte-identical draws); a weighted sampler pulls the raw 64-bit
+/// words at the SAME stream positions and maps each through its alias
+/// table, so the position multiset — and with it the cross-worker-count
+/// invariance — is untouched.  Weighted draws require the shared scope
+/// (validated by run_engine_sampled; owner-computes streams partition the
+/// index space and have no global distribution to weight).
 class DirectionPlan {
  public:
-  DirectionPlan(const AsyncRgsOptions& options, index_t n, int team)
-      : scope_(options.scope), n_(n), team_(team), shared_(options.seed) {
+  DirectionPlan(const AsyncRgsOptions& options, index_t n, int team,
+                const DirectionSampler* sampler = nullptr)
+      : scope_(options.scope), n_(n), team_(team), shared_(options.seed),
+        sampler_(sampler != nullptr && sampler->weighted_draws() ? sampler
+                                                                 : nullptr) {
+    ASYRGS_ASSERT(sampler_ == nullptr ||
+                  (scope_ == RandomizationScope::kShared &&
+                   sampler_->directions() == n));
     if (scope_ == RandomizationScope::kOwnerComputes) {
       lo_.resize(static_cast<std::size_t>(team));
       size_.resize(static_cast<std::size_t>(team));
@@ -130,6 +149,7 @@ class DirectionPlan {
     }
     const std::uint64_t j =
         static_cast<std::uint64_t>(w) + k * static_cast<std::uint64_t>(team_);
+    if (sampler_ != nullptr) return sampler_->map(shared_.at(j));
     return shared_.index_at(j, n_);
   }
 
@@ -147,6 +167,7 @@ class DirectionPlan {
                             static_cast<std::uint64_t>(w) +
                             static_cast<std::uint64_t>(t) *
                                 static_cast<std::uint64_t>(team_);
+    if (sampler_ != nullptr) return sampler_->map(shared_.at(j));
     return shared_.index_at(j, n_);
   }
 
@@ -160,9 +181,18 @@ class DirectionPlan {
       for (std::size_t i = 0; i < count; ++i) out[i] += lo;
       return;
     }
-    shared_.fill_indices_strided(
-        static_cast<std::uint64_t>(w) + k0 * static_cast<std::uint64_t>(team_),
-        static_cast<std::uint64_t>(team_), count, n_, out);
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(w) + k0 * static_cast<std::uint64_t>(team_);
+    if (sampler_ != nullptr) {
+      // Same stream positions, raw words instead of reduced indices; the
+      // sampler maps them in place through its alias table.
+      shared_.fill_at_strided(first, static_cast<std::uint64_t>(team_), count,
+                              reinterpret_cast<std::uint64_t*>(out));
+      sampler_->map_in_place(out, count);
+      return;
+    }
+    shared_.fill_indices_strided(first, static_cast<std::uint64_t>(team_),
+                                 count, n_, out);
   }
 
   /// out[i] = pick_in_sweep(w, sweep, t0 + i) for i in [0, count), batched.
@@ -184,6 +214,12 @@ class DirectionPlan {
                                 static_cast<std::uint64_t>(w) +
                                 static_cast<std::uint64_t>(t0) *
                                     static_cast<std::uint64_t>(team_);
+    if (sampler_ != nullptr) {
+      shared_.fill_at_strided(first, static_cast<std::uint64_t>(team_), count,
+                              reinterpret_cast<std::uint64_t*>(out));
+      sampler_->map_in_place(out, count);
+      return;
+    }
     shared_.fill_indices_strided(first, static_cast<std::uint64_t>(team_),
                                  count, n_, out);
   }
@@ -195,6 +231,7 @@ class DirectionPlan {
   index_t n_;
   int team_;
   Philox4x32 shared_;
+  const DirectionSampler* sampler_;
   std::vector<index_t> lo_;
   std::vector<index_t> size_;
   std::vector<Philox4x32> streams_;
@@ -378,6 +415,25 @@ class EngineScratch {
   std::atomic<long long> allocations_{0};
 };
 
+/// Sampling configuration of one engine run.  Default-constructed =
+/// uniform draws, no refresh — the pre-sampling engine, byte for byte.
+struct EngineSampling {
+  /// Distribution of the direction draws; null (or kUniform) keeps the
+  /// uniform multiply-reduction path.  Borrowed for the duration of the
+  /// run; weighted draws require RandomizationScope::kShared and a
+  /// direction count equal to the engine's n.
+  const DirectionSampler* sampler = nullptr;
+  /// Residual-policy table refresh, invoked on worker 0 between the two
+  /// synchronization barriers (the rest of the team is parked at the
+  /// second barrier, so the callback may read the iterate and rebuild the
+  /// sampler's table race-free).  Called once per rendezvous — per sweep
+  /// in kBarrierPerSweep, per round in kTimedBarrier, never in
+  /// kFreeRunning (which has no sync points; callers requiring refresh
+  /// must validate the mode).  The callback owns its own cadence (e.g.
+  /// rebuild every k-th call).
+  std::function<void()> refresh;
+};
+
 /// Generic execution engine shared by the single-RHS, block, and
 /// least-squares asynchronous solvers.
 ///
@@ -398,9 +454,21 @@ class EngineScratch {
 /// prepared handle passes its own so repeated solves skip the allocations,
 /// while one-shot callers leave it null and pay a local scratch per call.
 template <typename UpdateFn, typename ResidualFn>
-void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
-                int workers, UpdateFn&& update, ResidualFn&& residual,
-                AsyncRgsReport& report, EngineScratch* scratch = nullptr) {
+void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
+                        index_t n, int workers,
+                        const EngineSampling& sampling, UpdateFn&& update,
+                        ResidualFn&& residual, AsyncRgsReport& report,
+                        EngineScratch* scratch = nullptr) {
+  if (sampling.sampler != nullptr && sampling.sampler->weighted_draws()) {
+    require(options.scope == RandomizationScope::kShared,
+            "run_engine: weighted direction sampling requires the shared "
+            "randomization scope");
+    require(sampling.sampler->directions() == n,
+            "run_engine: sampler direction count must match the engine");
+  }
+  require(!sampling.refresh || options.sync != SyncMode::kFreeRunning,
+          "run_engine: sampler refresh needs synchronization points; "
+          "kFreeRunning has none");
   EngineScratch local_scratch;
   if (scratch == nullptr) scratch = &local_scratch;
   scratch->prepare(workers);
@@ -410,7 +478,7 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
       static_cast<long long>(sweeps) * static_cast<long long>(n);
 
   if (options.sync == SyncMode::kFreeRunning) {
-    const DirectionPlan plan(options, n, workers);
+    const DirectionPlan plan(options, n, workers, sampling.sampler);
     pool.run_team(workers, [&](int id, int team) {
       // The pool may shrink the team on nested calls; rebuild the plan so
       // the partitioning matches the actual team (lazily — the common
@@ -418,7 +486,7 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
       std::optional<DirectionPlan> shrunk;
       const DirectionPlan* my_plan = &plan;
       if (team != workers) {
-        shrunk.emplace(options, n, team);
+        shrunk.emplace(options, n, team, sampling.sampler);
         my_plan = &*shrunk;
       }
       const std::uint64_t my_total = my_plan->total_updates(id, sweeps);
@@ -456,7 +524,7 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
   }
 
   if (options.sync == SyncMode::kBarrierPerSweep) {
-    const DirectionPlan plan(options, n, workers);
+    const DirectionPlan plan(options, n, workers, sampling.sampler);
     SpinBarrier barrier(workers);
     std::atomic<bool> stop{false};
     std::atomic<int> sweeps_done{0};
@@ -465,7 +533,7 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
       std::optional<DirectionPlan> shrunk;
       const DirectionPlan* my_plan = &plan;
       if (team != workers) {
-        shrunk.emplace(options, n, team);
+        shrunk.emplace(options, n, team, sampling.sampler);
         my_plan = &*shrunk;
       }
       const index_t mine = my_plan->per_sweep(id);
@@ -497,6 +565,11 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
               stop.store(true, std::memory_order_release);
             }
           }
+          // Residual-policy table refresh: the team is parked at the next
+          // barrier, so worker 0 may rebuild the sampler race-free; the
+          // barrier release orders the new table before any later draw.
+          if (sampling.refresh && !stop.load(std::memory_order_relaxed))
+            sampling.refresh();
         }
         if (full_team) barrier.arrive_and_wait();
         if (stop.load(std::memory_order_acquire)) break;
@@ -514,7 +587,7 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
   // imbalance (the Section 5 "time based scheme").  The clock is consulted
   // once per direction-buffer refill — at most kDirectionChunk (and at most
   // one sweep-equivalent) of updates between checks.
-  const DirectionPlan plan(options, n, workers);
+  const DirectionPlan plan(options, n, workers, sampling.sampler);
   SpinBarrier barrier(workers);
   std::atomic<bool> stop{false};
   std::atomic<long long> updates_done{0};
@@ -523,7 +596,7 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
     std::optional<DirectionPlan> shrunk;
     const DirectionPlan* my_plan = &plan;
     if (team != workers) {
-      shrunk.emplace(options, n, team);
+      shrunk.emplace(options, n, team, sampling.sampler);
       my_plan = &*shrunk;
     }
     const std::uint64_t my_total = my_plan->total_updates(id, sweeps);
@@ -571,6 +644,8 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
             should_stop = true;
           }
         }
+        // Same rendezvous-refresh contract as kBarrierPerSweep above.
+        if (sampling.refresh && !should_stop) sampling.refresh();
         if (should_stop) stop.store(true, std::memory_order_release);
       }
       if (full_team) barrier.arrive_and_wait();
@@ -579,6 +654,18 @@ void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
   report.updates = updates_done.load(std::memory_order_relaxed);
   report.sweeps_done =
       static_cast<int>(report.updates / std::max<index_t>(n, 1));
+}
+
+/// Uniform-sampling engine run — the historical entry point.  Delegates
+/// with a default EngineSampling, which compiles to the exact pre-sampling
+/// draw path (null sampler, no refresh).
+template <typename UpdateFn, typename ResidualFn>
+void run_engine(ThreadPool& pool, const AsyncRgsOptions& options, index_t n,
+                int workers, UpdateFn&& update, ResidualFn&& residual,
+                AsyncRgsReport& report, EngineScratch* scratch = nullptr) {
+  run_engine_sampled(pool, options, n, workers, EngineSampling{},
+                     std::forward<UpdateFn>(update),
+                     std::forward<ResidualFn>(residual), report, scratch);
 }
 
 }  // namespace asyrgs::detail

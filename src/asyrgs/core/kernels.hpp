@@ -375,6 +375,73 @@ struct LsqUpdate {
   }
 };
 
+/// One asynchronous row-action (Kaczmarz) update on the shared iterate:
+/// project x onto the hyperplane A_i x = b_i, relaxed by beta —
+///   gamma = beta * (b_i - A_i x) / ||A_i||^2;  x += gamma * A_i^T.
+/// The row scan is the same compute seam as SingleRhsUpdate (pinned:
+/// relaxed-atomic reads of x, one subtraction per nonzero in column order;
+/// reassociated: the multi-accumulator/SIMD kernel with plain vector
+/// reads), but the apply half scatters into every column the row touches
+/// rather than one diagonal entry — which is why the asynchronous analysis
+/// of Liu, Wright & Sridhar (arXiv:1401.4780) covers it: each update
+/// writes a sparse multiple of one row.  `inv_row_sq` holds 1/||A_i||^2
+/// precomputed at prepare time (zero rows get 0, making their update a
+/// no-op rather than a NaN).
+template <bool kAtomicWrites, ScanMode kScan, class Index = index_t,
+          class Value = double>
+struct KaczmarzUpdate {
+  const nnz_t* row_ptr;
+  const Index* cols;
+  const Value* vals;
+  const double* b;
+  const double* inv_row_sq;
+  double* x;
+  double beta;
+
+  /// The compute half: gamma for row r from the current contents of x
+  /// (virtual-engine seam, mirroring SingleRhsUpdate::delta).
+  [[nodiscard]] double delta(index_t r) const noexcept {
+    const nnz_t* __restrict rp = row_ptr;
+    const Index* __restrict ci = cols;
+    const Value* __restrict av = vals;
+    double acc = b[r];
+    const nnz_t lo = rp[r];
+    const nnz_t hi = rp[r + 1];
+    if constexpr (kScan == ScanMode::kReassociated) {
+      acc = csr_row_sub_dot_reassoc(acc, ci + lo, av + lo, hi - lo, x);
+    } else {
+      for (nnz_t t = lo; t < hi; ++t)
+        acc -= av[t] * atomic_load_relaxed(x[ci[t]]);
+    }
+    return beta * (acc * inv_row_sq[r]);
+  }
+
+  /// The apply half: x[cols of row r] += gamma * vals of row r, with this
+  /// kernel's atomicity mode per component.
+  void apply(index_t r, double gamma) const noexcept {
+    const nnz_t* __restrict rp = row_ptr;
+    const Index* __restrict ci = cols;
+    const Value* __restrict av = vals;
+    const nnz_t lo = rp[r];
+    const nnz_t hi = rp[r + 1];
+    if constexpr (kAtomicWrites) {
+      for (nnz_t t = lo; t < hi; ++t)
+        atomic_add_relaxed(x[ci[t]], gamma * av[t]);
+    } else {
+      for (nnz_t t = lo; t < hi; ++t) racy_add(x[ci[t]], gamma * av[t]);
+    }
+  }
+
+  void operator()(int, index_t r, index_t r_ahead) const noexcept {
+    const nnz_t ahead_lo = row_ptr[r_ahead];
+    __builtin_prefetch(&b[r_ahead]);
+    __builtin_prefetch(&inv_row_sq[r_ahead]);
+    __builtin_prefetch(&vals[ahead_lo]);
+    __builtin_prefetch(&cols[ahead_lo]);
+    apply(r, delta(r));
+  }
+};
+
 /// ||A^T (b - A x)|| / ||A^T b|| as a two-phase team-parallel reduction at
 /// synchronization points: phase 1 materializes r = b - A x (row chunks),
 /// phase 2 reduces ||A^T r||^2 (column chunks via the rows of A^T).  The
@@ -465,6 +532,19 @@ inline std::vector<double> column_sq_norms(const CsrMatrixT<Index, Value>& at) {
     double acc = 0.0;
     for (double v : at.row_vals(j)) acc += v * v;
     sq[j] = acc;
+  }
+  return sq;
+}
+
+/// Squared Euclidean norms of the rows of A — the Strohmer-Vershynin
+/// Kaczmarz sampling weights and the denominators of the row projections.
+template <class Index, class Value>
+inline std::vector<double> row_sq_norms(const CsrMatrixT<Index, Value>& a) {
+  std::vector<double> sq(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (double v : a.row_vals(i)) acc += v * v;
+    sq[i] = acc;
   }
   return sq;
 }

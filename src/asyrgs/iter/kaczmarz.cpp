@@ -19,19 +19,17 @@ SolveReport kaczmarz_solve(const CsrMatrix& a, const std::vector<double>& b,
   const index_t m = a.rows();
 
   // Row sampling proportional to squared row norms (Strohmer-Vershynin).
+  std::vector<double> row_sq(static_cast<std::size_t>(m));
   std::vector<double> cdf(static_cast<std::size_t>(m));
   double acc = 0.0;
   for (index_t i = 0; i < m; ++i) {
     double s = 0.0;
     for (double v : a.row_vals(i)) s += v * v;
+    row_sq[i] = s;
     acc += s;
     cdf[i] = acc;
   }
   require(acc > 0.0, "kaczmarz_solve: zero matrix");
-
-  std::vector<double> row_sq(static_cast<std::size_t>(m));
-  row_sq[0] = cdf[0];
-  for (index_t i = 1; i < m; ++i) row_sq[i] = cdf[i] - cdf[i - 1];
 
   Xoshiro256 rng(seed);
   WallTimer timer;
@@ -44,9 +42,16 @@ SolveReport kaczmarz_solve(const CsrMatrix& a, const std::vector<double>& b,
       const index_t i = static_cast<index_t>(
           std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
       if (row_sq[i] == 0.0) continue;
-      const double gamma = (b[i] - a.row_dot(i, x.data())) / row_sq[i];
+      // Shared scan kernel (csr_row_sub_dot): acc = b_i, then one
+      // subtraction per nonzero in column order — the identical association
+      // the asynchronous KaczmarzUpdate's pinned path runs, so a one-worker
+      // async solve reproduces this sequential scan bit for bit.
       const auto cols = a.row_cols(i);
       const auto vals = a.row_vals(i);
+      const double gamma =
+          csr_row_sub_dot(b[i], cols.data(), vals.data(),
+                          static_cast<nnz_t>(cols.size()), x.data()) /
+          row_sq[i];
       for (std::size_t s = 0; s < cols.size(); ++s)
         x[cols[s]] += gamma * vals[s];
     }
@@ -54,9 +59,15 @@ SolveReport kaczmarz_solve(const CsrMatrix& a, const std::vector<double>& b,
 
     if (sweep % options.check_every == 0 ||
         sweep == options.max_iterations) {
+      // Residual through the same row-scan kernel as the update (one pass,
+      // no intermediate A x vector).
       std::vector<double> r(static_cast<std::size_t>(m));
-      a.multiply(x.data(), r.data());
-      for (index_t i = 0; i < m; ++i) r[i] = b[i] - r[i];
+      for (index_t i = 0; i < m; ++i) {
+        const auto cols = a.row_cols(i);
+        const auto vals = a.row_vals(i);
+        r[i] = csr_row_sub_dot(b[i], cols.data(), vals.data(),
+                               static_cast<nnz_t>(cols.size()), x.data());
+      }
       const double rel = b_norm > 0.0 ? nrm2(r) / b_norm : nrm2(r);
       report.final_relative_residual = rel;
       if (options.track_history) report.residual_history.push_back(rel);

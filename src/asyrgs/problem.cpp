@@ -43,6 +43,86 @@ void validate_async_controls(const AsyncRgsOptions& options, const char* who) {
     fail("sync interval must be positive");
 }
 
+/// Preconditions shared by every non-uniform sampling request.  The block
+/// path passes residual_ok = false: its residual metric is a Frobenius norm
+/// over all columns, which has no per-direction weight to refresh.
+void validate_sampling_controls(const SolveControls& controls, const char* who,
+                                bool residual_ok = true) {
+  auto fail = [&](const char* what) {
+    throw Error(std::string(who) + ": " + what);
+  };
+  if (controls.sampling == SamplingPolicy::kUniform) return;
+  if (controls.scope != RandomizationScope::kShared)
+    fail("non-uniform sampling requires the shared randomization scope "
+         "(owner-computes partitions have no global distribution)");
+  if (controls.sampling == SamplingPolicy::kResidual) {
+    if (!residual_ok)
+      fail("residual-weighted sampling is single-right-hand-side only");
+    if (controls.sync == SyncMode::kFreeRunning)
+      fail("residual-weighted sampling refreshes its table at "
+           "synchronization points; use barrier-per-sweep or timed-barrier "
+           "mode");
+    if (controls.resample_sweeps < 1)
+      fail("resample_sweeps must be at least 1");
+  }
+}
+
+std::string sampling_note(const SolveControls& controls) {
+  switch (controls.sampling) {
+    case SamplingPolicy::kUniform:
+      return "";
+    case SamplingPolicy::kWeighted:
+      return ", weighted sampling";
+    case SamplingPolicy::kResidual:
+      return ", residual sampling (refresh every " +
+             std::to_string(std::max(1, controls.resample_sweeps)) +
+             " rendezvous)";
+  }
+  return "";
+}
+
+/// w_i = (b_i - A_i x)^2 with plain reads of x — legal only before the
+/// engine starts or inside a refresh callback (team parked at the barrier).
+template <class Matrix>
+void row_residual_weights(const Matrix& a, const std::vector<double>& b,
+                          const double* x, std::vector<double>& w) {
+  w.resize(b.size());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double ri = b[static_cast<std::size_t>(i)];
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t s = 0; s < cols.size(); ++s) ri -= vals[s] * x[cols[s]];
+    w[static_cast<std::size_t>(i)] = ri * ri;
+  }
+}
+
+/// w_j = (A^T (b - A x))_j^2 — squared gradient magnitudes of the
+/// least-squares objective (the natural per-column residual weight for
+/// coordinate descent).  Same read contract as row_residual_weights;
+/// `r` is reusable scratch of a.rows() doubles.
+template <class Matrix>
+void col_residual_weights(const Matrix& a, const Matrix& at,
+                          const std::vector<double>& b, const double* x,
+                          std::vector<double>& r, std::vector<double>& w) {
+  r.resize(b.size());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double ri = b[static_cast<std::size_t>(i)];
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t s = 0; s < cols.size(); ++s) ri -= vals[s] * x[cols[s]];
+    r[static_cast<std::size_t>(i)] = ri;
+  }
+  w.resize(static_cast<std::size_t>(at.rows()));
+  for (index_t j = 0; j < at.rows(); ++j) {
+    const auto rows = at.row_cols(j);
+    const auto vals = at.row_vals(j);
+    double g = 0.0;
+    for (std::size_t s = 0; s < rows.size(); ++s)
+      g += vals[s] * r[rows[s]];
+    w[static_cast<std::size_t>(j)] = g * g;
+  }
+}
+
 const char* sync_name(SyncMode sync) {
   switch (sync) {
     case SyncMode::kFreeRunning:
@@ -264,6 +344,10 @@ SolveOutcome SpdProblem::solve(const std::vector<double>& b,
   require(static_cast<index_t>(b.size()) == a_.rows() && x.size() == b.size(),
           "SpdProblem::solve: shape mismatch");
   SpdMethod method = controls.method;
+  require(method != SpdMethod::kAsyncKaczmarz,
+          "SpdProblem::solve: the Kaczmarz row-action method is served by "
+          "LsqProblem (it needs no symmetry and covers rectangular and "
+          "inconsistent systems)");
   if (method == SpdMethod::kAuto) {
     // The solve_spd guidance: basic asynchronous iterations in the
     // low-accuracy regime, AsyRGS-preconditioned flexible CG when high
@@ -272,6 +356,11 @@ SolveOutcome SpdProblem::solve(const std::vector<double>& b,
                  ? SpdMethod::kAsyncRgs
                  : SpdMethod::kFcgAsyRgs;
   }
+  if (method != SpdMethod::kAsyncRgs)
+    require(controls.sampling == SamplingPolicy::kUniform,
+            "SpdProblem::solve: the Krylov methods draw no random "
+            "directions; sampling policies apply to the asynchronous "
+            "methods");
   SolveOutcome out = method == SpdMethod::kAsyncRgs
                          ? solve_async_single(b, x, controls)
                          : solve_krylov(b, x, controls, method);
@@ -303,6 +392,7 @@ SolveOutcome SpdProblem::solve_async_single_on(const Matrix& a,
   using Value = typename Matrix::value_type;
   const AsyncRgsOptions options = to_async_rgs_options(controls);
   validate_async_controls(options, "SpdProblem::solve");
+  validate_sampling_controls(controls, "SpdProblem::solve");
   const index_t n = a.rows();
   const double beta = options.step_size;
   const int workers = clamp_workers(options.workers, pool_);
@@ -315,25 +405,59 @@ SolveOutcome SpdProblem::solve_async_single_on(const Matrix& a,
   detail::SingleRhsResidual residual(a, b, x.data(), workers,
                                      scratch_->engine.reduce(workers));
 
+  detail::EngineSampling sampling;
+  std::optional<DirectionSampler> residual_sampler;
+  if (controls.sampling == SamplingPolicy::kWeighted) {
+    if (!weighted_sampler_) {
+      // Weights from the bound full-width matrix so the distribution is
+      // independent of the storage policy the kernels run against; built
+      // once per handle, reused by every later weighted solve.
+      const std::vector<double> w = detail::row_sq_norms(a_);
+      weighted_sampler_.emplace(DirectionSampler::weighted(w.data(), n));
+      ++stats_.sampler_builds;
+    }
+    sampling.sampler = &*weighted_sampler_;
+  } else if (controls.sampling == SamplingPolicy::kResidual) {
+    // Seed the table from the caller's initial iterate (deterministic
+    // input, so fixed-seed runs keep the multiset contract until the
+    // first refresh), then rebuild every resample_sweeps rendezvous.
+    std::vector<double> w;
+    row_residual_weights(a, b, x.data(), w);
+    residual_sampler.emplace(DirectionSampler::residual(w.data(), n));
+    sampling.sampler = &*residual_sampler;
+    const int period = std::max(1, controls.resample_sweeps);
+    DirectionSampler* const sampler = &*residual_sampler;
+    const double* const xp = x.data();
+    sampling.refresh = [&a, &b, xp, sampler, period, w = std::move(w),
+                        calls = 0]() mutable {
+      if (++calls % period != 0) return;
+      row_residual_weights(a, b, xp, w);
+      sampler->rebuild(w.data(), static_cast<index_t>(w.size()));
+    };
+  }
+
   WallTimer timer;
   detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
     const detail::SingleRhsUpdate<kAtomic, kScan, Index, Value> update{
         a.row_ptr().data(),        a.col_idx().data(), a.values().data(),
         scratch_->rhs_diag.data(), x.data(),           beta};
-    detail::run_engine(pool_, options, n, workers, update, residual, report,
-                       &scratch_->engine);
+    detail::run_engine_sampled(pool_, options, n, workers, sampling, update,
+                               residual, report, &scratch_->engine);
   });
   report.seconds = timer.seconds();
+  if (residual_sampler)
+    stats_.sampler_builds += residual_sampler->rebuilds();
 
   std::string description = std::string("AsyRGS, ") +
                             std::to_string(workers) + " threads, " +
-                            sync_name(options.sync);
+                            sync_name(options.sync) + sampling_note(controls);
   if constexpr (Matrix::kStorage != StoragePolicy::kInt64Double)
     description += std::string(", ") + to_string(Matrix::kStorage) +
                    " storage";
   SolveOutcome out = outcome_from_report(std::move(report), options,
                                          std::move(description));
   out.storage_used = Matrix::kStorage;
+  out.sampling_used = controls.sampling;
   return out;
 }
 
@@ -397,6 +521,8 @@ SolveOutcome SpdProblem::solve(const MultiVector& b, MultiVector& x,
               controls.method == SpdMethod::kAsyncRgs,
           "SpdProblem::solve(block): only the asynchronous method supports "
           "block right-hand sides");
+  validate_sampling_controls(controls, "SpdProblem::solve(block)",
+                             /*residual_ok=*/false);
   SolveOutcome out;
   switch (storage_) {
     case StoragePolicy::kInt32Double:
@@ -441,12 +567,23 @@ SolveOutcome SpdProblem::solve_block_on(const Matrix& a, const MultiVector& b,
   detail::BlockResidual residual(a, b, x, workers,
                                  scratch_->engine.reduce(workers));
 
+  detail::EngineSampling sampling;
+  if (controls.sampling == SamplingPolicy::kWeighted) {
+    if (!weighted_sampler_) {
+      const std::vector<double> w = detail::row_sq_norms(a_);
+      weighted_sampler_.emplace(DirectionSampler::weighted(w.data(), n));
+      ++stats_.sampler_builds;
+    }
+    sampling.sampler = &*weighted_sampler_;
+  }
+
   WallTimer timer;
   if (reassociated) {
     auto launch = [&]<bool kAtomic>() {
       auto run = [&](auto update) {
-        detail::run_engine(pool_, options, n, workers, update, residual,
-                           report, &scratch_->engine);
+        detail::run_engine_sampled(pool_, options, n, workers, sampling,
+                                   update, residual, report,
+                                   &scratch_->engine);
       };
       switch (k) {
         case 1:
@@ -485,13 +622,13 @@ SolveOutcome SpdProblem::solve_block_on(const Matrix& a, const MultiVector& b,
     if (options.atomic_writes) {
       const detail::BlockRhsUpdate<true, Index, Value> update{
           &a, &b, &x, inv_diag_.data(), beta, gamma, stride};
-      detail::run_engine(pool_, options, n, workers, update, residual, report,
-                         &scratch_->engine);
+      detail::run_engine_sampled(pool_, options, n, workers, sampling, update,
+                                 residual, report, &scratch_->engine);
     } else {
       const detail::BlockRhsUpdate<false, Index, Value> update{
           &a, &b, &x, inv_diag_.data(), beta, gamma, stride};
-      detail::run_engine(pool_, options, n, workers, update, residual, report,
-                         &scratch_->engine);
+      detail::run_engine_sampled(pool_, options, n, workers, sampling, update,
+                                 residual, report, &scratch_->engine);
     }
   }
   report.seconds = timer.seconds();
@@ -499,7 +636,7 @@ SolveOutcome SpdProblem::solve_block_on(const Matrix& a, const MultiVector& b,
   std::string description = std::string("AsyRGS block, ") +
                             std::to_string(workers) + " threads, " +
                             std::to_string(k) + " rhs, " +
-                            sync_name(options.sync);
+                            sync_name(options.sync) + sampling_note(controls);
   if (options.scan == ScanMode::kReassociated && !reassociated)
     description += "; reassociated scan requested but blocks wider than 4 "
                    "right-hand sides run the pinned column-parallel scan";
@@ -509,6 +646,7 @@ SolveOutcome SpdProblem::solve_block_on(const Matrix& a, const MultiVector& b,
   SolveOutcome out = outcome_from_report(std::move(report), options,
                                          std::move(description));
   out.storage_used = Matrix::kStorage;
+  out.sampling_used = controls.sampling;
   return out;
 }
 
@@ -544,6 +682,14 @@ LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
   col_sq_ = detail::column_sq_norms(*at_);
   for (double s : col_sq_)
     require(s > 0.0, "LsqProblem: zero column (A must have full rank)");
+  // Kaczmarz prepare-time analysis: squared row norms double as the
+  // Strohmer-Vershynin sampling weights and (reciprocated) as the row
+  // projection denominators.  Zero rows are legal — their weight is 0 and
+  // their inverse is 0, so the row is never preferred and its update no-ops.
+  row_sq_ = detail::row_sq_norms(a);
+  inv_row_sq_.resize(row_sq_.size());
+  for (std::size_t i = 0; i < row_sq_.size(); ++i)
+    inv_row_sq_[i] = row_sq_[i] > 0.0 ? 1.0 / row_sq_[i] : 0.0;
   ++stats_.validation_passes;
   // A^T's column indices are row indices of A, so narrowing must fit the
   // larger of the two dimensions.
@@ -569,6 +715,14 @@ LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
   col_sq_ = detail::column_sq_norms(at);
   for (double s : col_sq_)
     require(s > 0.0, "LsqProblem: zero column (A must have full rank)");
+  // Kaczmarz prepare-time analysis: squared row norms double as the
+  // Strohmer-Vershynin sampling weights and (reciprocated) as the row
+  // projection denominators.  Zero rows are legal — their weight is 0 and
+  // their inverse is 0, so the row is never preferred and its update no-ops.
+  row_sq_ = detail::row_sq_norms(a);
+  inv_row_sq_.resize(row_sq_.size());
+  for (std::size_t i = 0; i < row_sq_.size(); ++i)
+    inv_row_sq_[i] = row_sq_[i] > 0.0 ? 1.0 / row_sq_[i] : 0.0;
   ++stats_.validation_passes;
   bool fell_back = false;
   storage_ = resolve_storage_policy(storage, std::max(a.rows(), a.cols()),
@@ -592,6 +746,8 @@ LsqProblem::LsqProblem(ThreadPool& pool, const LsqProblem& other)
       atmixed_(other.atmixed_),
       storage_(other.storage_),
       col_sq_(other.col_sq_),
+      row_sq_(other.row_sq_),
+      inv_row_sq_(other.inv_row_sq_),
       scratch_(std::make_unique<detail::ProblemScratch>()) {
   stats_.storage = storage_;
   stats_.storage_fallbacks = other.stats_.storage_fallbacks;
@@ -613,18 +769,30 @@ SolveOutcome LsqProblem::solve(const std::vector<double>& b,
   require(static_cast<index_t>(b.size()) == a_.rows() &&
               static_cast<index_t>(x.size()) == a_.cols(),
           "LsqProblem::solve: shape mismatch");
+  require(controls.method == SpdMethod::kAuto ||
+              controls.method == SpdMethod::kAsyncRgs ||
+              controls.method == SpdMethod::kAsyncKaczmarz,
+          "LsqProblem::solve: least squares is served by the asynchronous "
+          "methods (kAsyncRgs coordinate descent or kAsyncKaczmarz row "
+          "action)");
+  const bool kaczmarz = controls.method == SpdMethod::kAsyncKaczmarz;
   SolveOutcome out;
   switch (storage_) {
     case StoragePolicy::kInt32Double:
-      out = solve_on(*a32_, *at32_, b, x, controls);
+      out = kaczmarz ? solve_kaczmarz_on(*a32_, *at32_, b, x, controls)
+                     : solve_on(*a32_, *at32_, b, x, controls);
       break;
     case StoragePolicy::kInt32Mixed:
-      out = solve_on(*amixed_, *atmixed_, b, x, controls);
+      out = kaczmarz ? solve_kaczmarz_on(*amixed_, *atmixed_, b, x, controls)
+                     : solve_on(*amixed_, *atmixed_, b, x, controls);
       break;
     case StoragePolicy::kInt64Double:
-      out = solve_on(a_, *at_, b, x, controls);
+      out = kaczmarz ? solve_kaczmarz_on(a_, *at_, b, x, controls)
+                     : solve_on(a_, *at_, b, x, controls);
       break;
   }
+  out.method_used =
+      kaczmarz ? SpdMethod::kAsyncKaczmarz : SpdMethod::kAsyncRgs;
   ++stats_.solves;
   return out;
 }
@@ -638,6 +806,7 @@ SolveOutcome LsqProblem::solve_on(const Matrix& a, const Matrix& at,
   using Value = typename Matrix::value_type;
   const AsyncRgsOptions options = to_async_rgs_options(controls);
   validate_async_controls(options, "LsqProblem::solve");
+  validate_sampling_controls(controls, "LsqProblem::solve");
   const index_t n = a.cols();
   const double beta = options.step_size;
   const int workers = clamp_workers(options.workers, pool_);
@@ -653,24 +822,135 @@ SolveOutcome LsqProblem::solve_on(const Matrix& a, const Matrix& at,
   detail::LsqResidual residual(a, at, b, x.data(), workers,
                                scratch_->engine.reduce(workers), r, check);
 
+  detail::EngineSampling sampling;
+  std::optional<DirectionSampler> residual_sampler;
+  if (controls.sampling == SamplingPolicy::kWeighted) {
+    if (!weighted_cols_) {
+      // Coordinate-descent weights: the column squared norms already
+      // computed (full-width) at preparation.
+      weighted_cols_.emplace(DirectionSampler::weighted(col_sq_.data(), n));
+      ++stats_.sampler_builds;
+    }
+    sampling.sampler = &*weighted_cols_;
+  } else if (controls.sampling == SamplingPolicy::kResidual) {
+    std::vector<double> rbuf, w;
+    col_residual_weights(a, at, b, x.data(), rbuf, w);
+    residual_sampler.emplace(DirectionSampler::residual(w.data(), n));
+    sampling.sampler = &*residual_sampler;
+    const int period = std::max(1, controls.resample_sweeps);
+    DirectionSampler* const sampler = &*residual_sampler;
+    const double* const xp = x.data();
+    sampling.refresh = [&a, &at, &b, xp, sampler, period,
+                        rbuf = std::move(rbuf), w = std::move(w),
+                        calls = 0]() mutable {
+      if (++calls % period != 0) return;
+      col_residual_weights(a, at, b, xp, rbuf, w);
+      sampler->rebuild(w.data(), static_cast<index_t>(w.size()));
+    };
+  }
+
   WallTimer timer;
   detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
     const detail::LsqUpdate<kAtomic, kScan, Index, Value> update{
         &a, &at, b.data(), col_sq_.data(), x.data(), beta};
-    detail::run_engine(pool_, options, n, workers, update, residual, report,
-                       &scratch_->engine);
+    detail::run_engine_sampled(pool_, options, n, workers, sampling, update,
+                               residual, report, &scratch_->engine);
   });
   report.seconds = timer.seconds();
+  if (residual_sampler)
+    stats_.sampler_builds += residual_sampler->rebuilds();
 
   std::string description = std::string("AsyRCD least squares, ") +
                             std::to_string(workers) + " threads, " +
-                            sync_name(options.sync);
+                            sync_name(options.sync) + sampling_note(controls);
   if constexpr (Matrix::kStorage != StoragePolicy::kInt64Double)
     description += std::string(", ") + to_string(Matrix::kStorage) +
                    " storage";
   SolveOutcome out = outcome_from_report(std::move(report), options,
                                          std::move(description));
   out.storage_used = Matrix::kStorage;
+  out.sampling_used = controls.sampling;
+  return out;
+}
+
+template <class Matrix>
+SolveOutcome LsqProblem::solve_kaczmarz_on(const Matrix& a, const Matrix& at,
+                                           const std::vector<double>& b,
+                                           std::vector<double>& x,
+                                           const SolveControls& controls) {
+  using Index = typename Matrix::index_type;
+  using Value = typename Matrix::value_type;
+  const AsyncRgsOptions options = to_async_rgs_options(controls);
+  validate_async_controls(options, "LsqProblem::solve(kaczmarz)");
+  validate_sampling_controls(controls, "LsqProblem::solve(kaczmarz)");
+  // Directions are the ROWS of A (one sweep = m row projections), unlike
+  // coordinate descent whose directions are columns.
+  const index_t m = a.rows();
+  const double beta = options.step_size;
+  const int workers = clamp_workers(options.workers, pool_);
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  report.scan_used = options.scan;
+
+  // Same normal-equations metric as coordinate descent, so outcomes of the
+  // two methods are directly comparable (and inconsistent systems — where
+  // ||b - Ax|| cannot reach zero — still report a meaningful residual).
+  const bool check = options.track_history || options.rel_tol > 0.0;
+  double* const r =
+      check ? scratch_->engine.dense(static_cast<std::size_t>(a.rows()))
+            : nullptr;
+  detail::LsqResidual residual(a, at, b, x.data(), workers,
+                               scratch_->engine.reduce(workers), r, check);
+
+  detail::EngineSampling sampling;
+  std::optional<DirectionSampler> residual_sampler;
+  if (controls.sampling == SamplingPolicy::kWeighted) {
+    if (!weighted_rows_) {
+      // The Strohmer-Vershynin distribution p_i ∝ ||A_i||^2, from the
+      // prepare-time norms of the full-width matrix.
+      weighted_rows_.emplace(DirectionSampler::weighted(row_sq_.data(), m));
+      ++stats_.sampler_builds;
+    }
+    sampling.sampler = &*weighted_rows_;
+  } else if (controls.sampling == SamplingPolicy::kResidual) {
+    std::vector<double> w;
+    row_residual_weights(a, b, x.data(), w);
+    residual_sampler.emplace(DirectionSampler::residual(w.data(), m));
+    sampling.sampler = &*residual_sampler;
+    const int period = std::max(1, controls.resample_sweeps);
+    DirectionSampler* const sampler = &*residual_sampler;
+    const double* const xp = x.data();
+    sampling.refresh = [&a, &b, xp, sampler, period, w = std::move(w),
+                        calls = 0]() mutable {
+      if (++calls % period != 0) return;
+      row_residual_weights(a, b, xp, w);
+      sampler->rebuild(w.data(), static_cast<index_t>(w.size()));
+    };
+  }
+
+  WallTimer timer;
+  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
+    const detail::KaczmarzUpdate<kAtomic, kScan, Index, Value> update{
+        a.row_ptr().data(), a.col_idx().data(), a.values().data(), b.data(),
+        inv_row_sq_.data(), x.data(),           beta};
+    detail::run_engine_sampled(pool_, options, m, workers, sampling, update,
+                               residual, report, &scratch_->engine);
+  });
+  report.seconds = timer.seconds();
+  if (residual_sampler)
+    stats_.sampler_builds += residual_sampler->rebuilds();
+
+  std::string description = std::string("AsyKaczmarz least squares, ") +
+                            std::to_string(workers) + " threads, " +
+                            sync_name(options.sync) + sampling_note(controls);
+  if constexpr (Matrix::kStorage != StoragePolicy::kInt64Double)
+    description += std::string(", ") + to_string(Matrix::kStorage) +
+                   " storage";
+  SolveOutcome out = outcome_from_report(std::move(report), options,
+                                         std::move(description));
+  out.storage_used = Matrix::kStorage;
+  out.sampling_used = controls.sampling;
   return out;
 }
 

@@ -31,11 +31,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "asyrgs/core/async_rgs.hpp"
 #include "asyrgs/linalg/multivector.hpp"
+#include "asyrgs/sampling/direction_sampler.hpp"
 #include "asyrgs/sparse/csr.hpp"
 #include "asyrgs/support/thread_pool.hpp"
 
@@ -50,6 +52,12 @@ enum class SpdMethod {
   kAsyncRgs,  ///< asynchronous randomized Gauss-Seidel
   kFcgAsyRgs, ///< flexible CG preconditioned by AsyRGS
   kCg,        ///< plain conjugate gradients (synchronous baseline)
+  /// Asynchronous row-action Kaczmarz on the shared engine: directions are
+  /// rows, each update projects x onto its row's hyperplane (relaxed by
+  /// beta).  Served by LsqProblem — it needs no symmetry and handles
+  /// rectangular and inconsistent systems; SpdProblem::solve rejects it
+  /// with a pointer there.
+  kAsyncKaczmarz,
 };
 
 /// How a solve ended — the structured replacement for the per-solver
@@ -111,8 +119,9 @@ enum class StorageMode {
 /// construction.  Field-for-field compatible with AsyncRgsOptions for the
 /// asynchronous methods — see to_controls / to_async_rgs_options.
 struct SolveControls {
-  /// SpdProblem only: solution strategy.  LsqProblem ignores it (the method
-  /// is always asynchronous randomized coordinate descent).
+  /// Solution strategy.  LsqProblem accepts kAuto/kAsyncRgs (randomized
+  /// coordinate descent) and kAsyncKaczmarz (row action); SpdProblem
+  /// accepts everything but kAsyncKaczmarz.
   SpdMethod method = SpdMethod::kAuto;
   /// Sweep budget for the asynchronous/randomized methods (one sweep = n
   /// coordinate updates across the team).
@@ -134,13 +143,25 @@ struct SolveControls {
   double rel_tol = 0.0;
   /// kFcgAsyRgs only: AsyRGS sweeps per preconditioner application.
   int inner_sweeps = 2;
+  /// Direction-draw distribution for the asynchronous methods (see
+  /// sampling/direction_sampler.hpp).  kUniform is the paper's setting and
+  /// bit-identical to the pre-sampling engine.  Non-uniform policies
+  /// require RandomizationScope::kShared; kResidual additionally requires
+  /// a synchronizing mode (its table refreshes at rendezvous) and the
+  /// single-RHS paths.  The Krylov methods reject non-uniform policies —
+  /// they draw no random directions.
+  SamplingPolicy sampling = SamplingPolicy::kUniform;
+  /// kResidual only: rebuild the residual-weighted table every this many
+  /// synchronization rendezvous (sweeps under kBarrierPerSweep, rounds
+  /// under kTimedBarrier).  Must be >= 1; see docs/TUNING.md for sizing.
+  int resample_sweeps = 8;
 };
 
 /// Unified result of a handle solve.
 struct SolveOutcome {
   SolveStatus status = SolveStatus::kBudgetCompleted;
-  /// Resolved strategy (SpdProblem; LsqProblem leaves kAuto — the method is
-  /// named in `description`).
+  /// Resolved strategy (SpdProblem methods; for LsqProblem kAsyncRgs =
+  /// coordinate descent, kAsyncKaczmarz = row action).
   SpdMethod method_used = SpdMethod::kAuto;
   int iterations = 0;        ///< sweeps or outer iterations, per method
   long long updates = 0;     ///< coordinate updates (asynchronous methods)
@@ -157,6 +178,9 @@ struct SolveOutcome {
   /// resolved policy for the asynchronous methods, kInt64Double for the
   /// Krylov outer methods (which always read the bound full-width matrix).
   StoragePolicy storage_used = StoragePolicy::kInt64Double;
+  /// Direction-draw distribution the run used (kUniform for the Krylov
+  /// methods, which draw no directions).
+  SamplingPolicy sampling_used = SamplingPolicy::kUniform;
   std::vector<double> residual_history;  ///< per synchronization, if tracked
   std::string description;   ///< human-readable method/mode summary
 
@@ -201,6 +225,10 @@ struct ProblemStats {
   /// Explicit narrow-storage requests that overflowed the index width and
   /// fell back to full storage (0 or 1 per handle; clones inherit it).
   int storage_fallbacks = 0;
+  /// Alias-table build passes paid so far: 1 per lazily cached static
+  /// weighted sampler (amortized across solves), plus every residual-policy
+  /// build/refresh.  Repeat kWeighted solves must not increase this.
+  long long sampler_builds = 0;
 };
 
 /// Prepared handle for repeated solves of SPD A x = b against one matrix.
@@ -281,6 +309,10 @@ class SpdProblem {
   std::shared_ptr<const CsrMatrixMixed> amixed_;
   StoragePolicy storage_ = StoragePolicy::kInt64Double;
   std::vector<double> inv_diag_;
+  /// kWeighted sampler (weights: squared row norms of the bound full-width
+  /// matrix), built lazily on the first weighted solve and cached — guarded
+  /// by mutex_ like all mutable solve state.
+  std::optional<DirectionSampler> weighted_sampler_;
   mutable std::recursive_mutex mutex_;  // recursive: FCG solves re-enter via
                                         // the preconditioner's inner solves
   std::unique_ptr<detail::ProblemScratch> scratch_;
@@ -320,9 +352,16 @@ class LsqProblem {
   LsqProblem(const LsqProblem&) = delete;
   LsqProblem& operator=(const LsqProblem&) = delete;
 
-  /// Solves min ||A x - b|| from `x` (in place).  `controls.method` is
-  /// ignored; coordinates are the columns of A (RandomizationScope
-  /// partitions columns).  Convergence metric: ||A^T(b - Ax)|| / ||A^T b||.
+  /// Solves min ||A x - b|| from `x` (in place).  `controls.method` routes
+  /// between the two asynchronous methods: kAuto/kAsyncRgs run randomized
+  /// coordinate descent over the columns of A (iteration (21));
+  /// kAsyncKaczmarz runs the row-action method — directions are rows, each
+  /// update projects x onto its row's hyperplane with the 1/||A_i||^2
+  /// denominators precomputed at preparation (zero rows no-op).  The
+  /// Krylov methods are rejected.  Convergence metric for both:
+  /// ||A^T(b - Ax)|| / ||A^T b|| — for inconsistent systems the Kaczmarz
+  /// iterate converges to a neighbourhood of the least-squares solution
+  /// (radius shrinking with beta), so pair it with a modest rel_tol.
   SolveOutcome solve(const std::vector<double>& b, std::vector<double>& x,
                      const SolveControls& controls = {});
 
@@ -333,11 +372,17 @@ class LsqProblem {
   [[nodiscard]] ProblemStats stats() const;
 
  private:
-  /// Policy-concrete solve body behind the storage dispatch (problem.cpp).
+  /// Policy-concrete solve bodies behind the storage dispatch (problem.cpp):
+  /// coordinate descent over columns, and the Kaczmarz row-action method.
   template <class Matrix>
   SolveOutcome solve_on(const Matrix& a, const Matrix& at,
                         const std::vector<double>& b, std::vector<double>& x,
                         const SolveControls& controls);
+  template <class Matrix>
+  SolveOutcome solve_kaczmarz_on(const Matrix& a, const Matrix& at,
+                                 const std::vector<double>& b,
+                                 std::vector<double>& x,
+                                 const SolveControls& controls);
 
   ThreadPool& pool_;
   const CsrMatrix& a_;
@@ -350,7 +395,14 @@ class LsqProblem {
   std::shared_ptr<const CsrMatrixMixed> amixed_;
   std::shared_ptr<const CsrMatrixMixed> atmixed_;
   StoragePolicy storage_ = StoragePolicy::kInt64Double;
-  std::vector<double> col_sq_;  // ||A_{:,j}||^2 update denominators
+  std::vector<double> col_sq_;      // ||A_{:,j}||^2 update denominators
+  std::vector<double> row_sq_;      // ||A_i||^2 (Kaczmarz sampling weights)
+  std::vector<double> inv_row_sq_;  // 1/||A_i||^2 projection denominators
+                                    // (0 for zero rows: their update no-ops)
+  /// Lazily cached kWeighted samplers — columns (coordinate descent,
+  /// weights col_sq_) and rows (Kaczmarz, weights row_sq_); mutex_-guarded.
+  std::optional<DirectionSampler> weighted_cols_;
+  std::optional<DirectionSampler> weighted_rows_;
   mutable std::recursive_mutex mutex_;
   std::unique_ptr<detail::ProblemScratch> scratch_;
   ProblemStats stats_;

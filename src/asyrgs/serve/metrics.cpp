@@ -68,6 +68,7 @@ std::string format_json_trace(const TraceEvent& event) {
   line << "{\"type\":\"request\",\"id\":" << event.request_id << ",\"kind\":\""
        << event.kind << "\",\"status\":\"" << event.status
        << "\",\"storage\":\"" << event.storage
+       << "\",\"sampling\":\"" << event.sampling
        << "\",\"shard\":" << event.shard << ",\"priority\":" << event.priority
        << ",\"warm_start\":" << (event.warm_start ? "true" : "false")
        << ",\"enqueue_us\":" << us(event.enqueue_seconds)

@@ -85,6 +85,10 @@ struct TraceEvent {
   /// (SolveOutcome::storage_used); "" for requests that never executed or
   /// threw.
   const char* storage = "";
+  /// to_string(SamplingPolicy) the executed solve drew directions with
+  /// (SolveOutcome::sampling_used); "" for requests that never executed or
+  /// threw.
+  const char* sampling = "";
   int shard = -1;               ///< executing shard; -1 = never executed
   int priority = 0;             ///< admitted priority class
   bool warm_start = false;      ///< request carried an initial iterate

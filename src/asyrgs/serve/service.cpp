@@ -151,9 +151,12 @@ void emit_trace(const ServiceImpl& impl, const TicketState& t) {
   event.request_id = t.request_id;
   event.kind = kind_name(t.kind);
   event.status = t.error ? "error" : to_string(t.outcome.status);
-  // Storage is meaningful only for a solve that ran to an outcome; rejected
-  // or failed requests leave it empty.
-  if (!t.error && t.started) event.storage = to_string(t.outcome.storage_used);
+  // Storage and sampling are meaningful only for a solve that ran to an
+  // outcome; rejected or failed requests leave them empty.
+  if (!t.error && t.started) {
+    event.storage = to_string(t.outcome.storage_used);
+    event.sampling = to_string(t.outcome.sampling_used);
+  }
   event.shard = t.shard;
   event.priority = t.priority;
   event.warm_start = t.warm_start;

@@ -17,6 +17,8 @@ const char* method_name(SpdMethod m) {
       return "fcg+asyrgs";
     case SpdMethod::kCg:
       return "cg";
+    case SpdMethod::kAsyncKaczmarz:
+      return "kaczmarz";
   }
   return "?";
 }

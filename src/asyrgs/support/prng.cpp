@@ -390,6 +390,48 @@ void Philox4x32::fill_at(std::uint64_t first, std::size_t count,
   if (i < count) out[i] = at(first + i);
 }
 
+void Philox4x32::fill_at_strided(std::uint64_t first, std::uint64_t stride,
+                                 std::size_t count,
+                                 std::uint64_t* out) const noexcept {
+  if (stride == 1) {
+    fill_at(first, count, out);
+    return;
+  }
+  if ((stride & 1u) == 0) {
+    // Even stride: constant parity, block counters advance by stride/2 —
+    // one affine pass (same structure as fill_indices_strided, minus the
+    // index reduction).
+    std::uint64_t lo[kBlockTile], hi[kBlockTile];
+    std::uint64_t* half = (first & 1u) ? hi : lo;
+    std::size_t i = 0;
+    while (i < count) {
+      const std::size_t blocks = std::min<std::size_t>(kBlockTile, count - i);
+      blocks_affine(key_, (first + i * stride) >> 1, stride >> 1, blocks, lo,
+                    hi);
+      for (std::size_t j = 0; j < blocks; ++j) out[i + j] = half[j];
+      i += blocks;
+    }
+    return;
+  }
+  // Odd stride > 1: alternate parity; two interleaved affine passes.
+  std::uint64_t lo[kBlockTile], hi[kBlockTile];
+  std::size_t i = 0;
+  while (i < count) {
+    const std::size_t blocks = std::min<std::size_t>(kBlockTile, count - i);
+    const std::uint64_t p0 = first + i * stride;
+    const std::uint64_t p1 = p0 + stride;
+    const std::size_t n_even = (blocks + 1) / 2;
+    const std::size_t n_odd = blocks / 2;
+    blocks_affine(key_, p0 >> 1, stride, n_even, lo, hi);
+    for (std::size_t j = 0; j < n_even; ++j)
+      out[i + 2 * j] = ((p0 + 2 * j * stride) & 1u) ? hi[j] : lo[j];
+    blocks_affine(key_, p1 >> 1, stride, n_odd, lo, hi);
+    for (std::size_t j = 0; j < n_odd; ++j)
+      out[i + 2 * j + 1] = ((p1 + 2 * j * stride) & 1u) ? hi[j] : lo[j];
+    i += blocks;
+  }
+}
+
 void Philox4x32::fill_indices(std::uint64_t first, std::size_t count,
                               index_t n, index_t* out) const noexcept {
   std::size_t i = 0;

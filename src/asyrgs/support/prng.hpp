@@ -145,6 +145,13 @@ class Philox4x32 {
   void fill_at(std::uint64_t first, std::size_t count,
                std::uint64_t* out) const noexcept;
 
+  /// out[i] = at(first + i * stride) for i in [0, count): the raw-bits
+  /// companion of fill_indices_strided, for consumers that post-process
+  /// the words themselves (the non-uniform direction samplers map each
+  /// word through a Walker alias table).  stride >= 1.
+  void fill_at_strided(std::uint64_t first, std::uint64_t stride,
+                       std::size_t count, std::uint64_t* out) const noexcept;
+
   /// out[i] = index_at(first + i, n) for i in [0, count).  n > 0.
   void fill_indices(std::uint64_t first, std::size_t count, index_t n,
                     index_t* out) const noexcept;

@@ -84,6 +84,7 @@ TEST(TraceFormat, JsonLineIsStableAndMachineParseable) {
   e.kind = "lsq";
   e.status = "converged";
   e.storage = "int32_double";
+  e.sampling = "weighted";
   e.shard = 3;
   e.priority = 0;
   e.warm_start = true;
@@ -93,6 +94,7 @@ TEST(TraceFormat, JsonLineIsStableAndMachineParseable) {
   EXPECT_EQ(format_json_trace(e),
             "{\"type\":\"request\",\"id\":42,\"kind\":\"lsq\","
             "\"status\":\"converged\",\"storage\":\"int32_double\","
+            "\"sampling\":\"weighted\","
             "\"shard\":3,\"priority\":0,"
             "\"warm_start\":true,\"enqueue_us\":1500000,"
             "\"start_us\":1502000,\"done_us\":2000000}");

@@ -24,8 +24,9 @@
 //
 // --smoke runs a fixed miniature configuration and additionally verifies
 // the virtual engine's determinism contract (two identical runs bit-equal;
-// zero-delay run equal to the sequential solver), exiting nonzero on any
-// violation — the CTest hook `smoke_sim` builds on this.
+// zero-delay run equal to the sequential solver; weighted-sampler runs
+// bit-reproducible and convergent), exiting nonzero on any violation — the
+// CTest hook `smoke_sim` builds on this.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -162,6 +163,38 @@ int run_smoke() {
   if (!(e1.result.final_error_sq < c.e0)) {
     std::cerr << "smoke: event-driven run did not reduce the error\n";
     return 5;
+  }
+
+  // Weighted-sampler conformance: the virtual engine drives the production
+  // draw path (Philox stream mapped through the alias table), so a fixed
+  // (seed, weights) run must be bit-reproducible and must still converge.
+  {
+    std::vector<double> w(static_cast<std::size_t>(c.a.rows()));
+    for (index_t i = 0; i < c.a.rows(); ++i) {
+      const nnz_t lo = c.a.row_ptr()[static_cast<std::size_t>(i)];
+      const nnz_t hi = c.a.row_ptr()[static_cast<std::size_t>(i) + 1];
+      double acc = 0.0;
+      for (nnz_t t = lo; t < hi; ++t) {
+        const double v = c.a.values()[static_cast<std::size_t>(t)];
+        acc += v * v;
+      }
+      w[static_cast<std::size_t>(i)] = acc;
+    }
+    const DirectionSampler weighted =
+        DirectionSampler::weighted(w.data(), c.a.rows());
+    const SimResult w1 =
+        run_virtual_consistent(c.a, c.b, c.x0, c.x_star, zero, opt, &weighted);
+    const SimResult w2 =
+        run_virtual_consistent(c.a, c.b, c.x0, c.x_star, zero, opt, &weighted);
+    if (!bit_equal(w1.x, w2.x)) {
+      std::cerr << "smoke: repeated weighted-sampler runs are not "
+                   "bit-identical\n";
+      return 6;
+    }
+    if (!(w1.final_error_sq < c.e0)) {
+      std::cerr << "smoke: weighted-sampler run did not reduce the error\n";
+      return 7;
+    }
   }
 
   std::vector<CurvePoint> curves;

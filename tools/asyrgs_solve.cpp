@@ -1,9 +1,10 @@
 // asyrgs_solve — command-line SPD solver over Matrix Market files.
 //
 //   asyrgs_solve --matrix A.mtx [--rhs b.mtx] [--out x.mtx]
-//                [--method auto|asyrgs|fcg|cg] [--tol 1e-8] [--threads 0]
-//                [--scan pinned|reassociated] [--repeat 1] [--shards 1]
-//                [--storage auto|int64|int32|mixed]
+//                [--method auto|asyrgs|fcg|cg|kaczmarz] [--tol 1e-8]
+//                [--threads 0] [--scan pinned|reassociated] [--repeat 1]
+//                [--shards 1] [--storage auto|int64|int32|mixed]
+//                [--sampling uniform|weighted|residual] [--resample 8]
 //
 // Reads an SPD matrix (coordinate format, general or symmetric), prepares an
 // asyrgs::SpdProblem handle (validation + analysis paid once), solves
@@ -18,6 +19,11 @@
 // per-shard capacity), and multi-worker asynchronous runs are not
 // bit-reproducible; byte-identical output across the two paths requires
 // an explicit --threads 1 under the pinned scan.
+//
+// --method kaczmarz routes through an LsqProblem handle (the row-action
+// method needs no symmetry), so it also serves rectangular .mtx inputs;
+// --sampling selects the direction distribution of the asynchronous
+// methods (docs/TUNING.md).
 #include <fstream>
 #include <iostream>
 
@@ -31,7 +37,10 @@ int main(int argc, char** argv) {
   auto rhs_path = cli.add_string("rhs", "", "right-hand side (.mtx array); "
                                             "default: A * ones");
   auto out_path = cli.add_string("out", "", "solution output (.mtx array)");
-  auto method = cli.add_string("method", "auto", "auto|asyrgs|fcg|cg");
+  auto method = cli.add_string("method", "auto",
+                               "auto|asyrgs|fcg|cg|kaczmarz (kaczmarz: "
+                               "row-action least squares; accepts "
+                               "rectangular matrices)");
   auto tol = cli.add_double("tol", 1e-8, "relative residual target");
   auto threads = cli.add_int("threads", 0, "worker threads (0 = all)");
   auto max_iters = cli.add_int("max-iterations", 0, "iteration cap (0=auto)");
@@ -51,6 +60,14 @@ int main(int argc, char** argv) {
       "storage", "auto",
       "CSR storage policy: auto | int64 | int32 | mixed (int32 indices + "
       "f32 values, double accumulation; see docs/TUNING.md)");
+  auto sampling = cli.add_string(
+      "sampling", "uniform",
+      "direction-draw distribution for the asynchronous methods: uniform | "
+      "weighted (norm-weighted alias table) | residual (refreshed at sync "
+      "points; see docs/TUNING.md)");
+  auto resample = cli.add_int(
+      "resample", 8,
+      "residual sampling: rebuild the table every N rendezvous");
 
   try {
     cli.parse(argc, argv);
@@ -69,7 +86,9 @@ int main(int argc, char** argv) {
       require(in.good(), "cannot open --rhs file");
       b = read_vector_market(in);
     } else {
-      const std::vector<double> ones(static_cast<std::size_t>(a.rows()), 1.0);
+      // A * ones needs cols() entries; rows() == cols() for the SPD paths,
+      // but --method kaczmarz also accepts rectangular matrices.
+      const std::vector<double> ones(static_cast<std::size_t>(a.cols()), 1.0);
       b = rhs_from_solution(a, ones);
       std::cerr << "rhs: A * ones (self-checking mode)\n";
     }
@@ -90,8 +109,10 @@ int main(int argc, char** argv) {
       controls.method = SpdMethod::kFcgAsyRgs;
     else if (*method == "cg")
       controls.method = SpdMethod::kCg;
+    else if (*method == "kaczmarz")
+      controls.method = SpdMethod::kAsyncKaczmarz;
     else
-      throw Error("unknown --method (want auto|asyrgs|fcg|cg)");
+      throw Error("unknown --method (want auto|asyrgs|fcg|cg|kaczmarz)");
     if (*scan == "pinned")
       controls.scan = ScanMode::kPinned;
     else if (*scan == "reassociated")
@@ -109,6 +130,16 @@ int main(int argc, char** argv) {
       storage_mode = StorageMode::kInt32Mixed;
     else
       throw Error("unknown --storage (want auto|int64|int32|mixed)");
+    if (*sampling == "uniform")
+      controls.sampling = SamplingPolicy::kUniform;
+    else if (*sampling == "weighted")
+      controls.sampling = SamplingPolicy::kWeighted;
+    else if (*sampling == "residual")
+      controls.sampling = SamplingPolicy::kResidual;
+    else
+      throw Error("unknown --sampling (want uniform|weighted|residual)");
+    controls.resample_sweeps = static_cast<int>(*resample);
+    const bool kaczmarz = controls.method == SpdMethod::kAsyncKaczmarz;
 
     std::vector<double> x;
     SolveOutcome outcome;
@@ -120,6 +151,12 @@ int main(int argc, char** argv) {
       service_options.shards = static_cast<int>(*shards);
       service_options.workers_per_shard = static_cast<int>(*threads);
       service_options.storage = storage_mode;
+      if (kaczmarz) {
+        // Row-action least squares: only the lsq handles are needed (and
+        // SPD preparation would reject rectangular inputs).
+        service_options.prepare_spd = false;
+        service_options.prepare_lsq = true;
+      }
       WallTimer prepare_timer;
       SolverService service(a, service_options);
       std::cerr << "prepared " << service.shards() << "-shard service ("
@@ -127,7 +164,9 @@ int main(int argc, char** argv) {
                 << prepare_timer.seconds() << " s\n";
       std::vector<SolveTicket> tickets;
       for (std::int64_t run = 0; run < *repeat; ++run)
-        tickets.push_back(service.submit(b, controls));
+        tickets.push_back(kaczmarz
+                              ? service.submit_least_squares(b, controls)
+                              : service.submit(b, controls));
       for (std::size_t run = 0; run < tickets.size(); ++run) {
         outcome = tickets[run].wait();
         if (*repeat > 1)
@@ -137,6 +176,22 @@ int main(int argc, char** argv) {
                     << " s\n";
       }
       x = tickets.back().solution();
+    } else if (kaczmarz) {
+      // Row-action least squares: prepare once (A^T, rank check, row
+      // norms), then solve --repeat times against the handle.
+      WallTimer prepare_timer;
+      LsqProblem problem(ThreadPool::global(), a, storage_mode);
+      std::cerr << "prepared lsq handle in " << prepare_timer.seconds()
+                << " s (storage: " << to_string(problem.storage()) << ")\n";
+
+      for (std::int64_t run = 0; run < *repeat; ++run) {
+        x.assign(static_cast<std::size_t>(a.cols()), 0.0);
+        outcome = problem.solve(b, x, controls);
+        if (*repeat > 1)
+          std::cerr << "solve " << (run + 1) << "/" << *repeat << ": "
+                    << to_string(outcome.status) << " in " << outcome.seconds
+                    << " s\n";
+      }
     } else {
       // Prepare once (symmetry + diagonal validation, cached transpose,
       // scratch), then solve --repeat times against the handle.
@@ -158,6 +213,7 @@ int main(int argc, char** argv) {
 
     std::cerr << "method: " << outcome.description << "\n"
               << "storage: " << to_string(outcome.storage_used) << "\n"
+              << "sampling: " << to_string(outcome.sampling_used) << "\n"
               << "status: " << to_string(outcome.status)
               << "  iterations: " << outcome.iterations
               << "  time: " << outcome.seconds << " s\n"
