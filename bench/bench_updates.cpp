@@ -419,8 +419,8 @@ int main(int argc, char** argv) {
     // narrows to int32/double whenever the shape fits (it does for every
     // bench workload).  The legacy engine predates the policies and always
     // reads the bound full-width matrix.
-    const char* const auto_storage =
-        to_string(resolve_storage_policy(StorageMode::kAuto, a.cols()));
+    const char* const auto_storage = to_string(
+        resolve_storage_policy(StorageMode::kAuto, a.cols(), a.nnz()));
 
     const auto time_run = [&](auto&& fn) {
       double best = 1e300;
@@ -1064,6 +1064,50 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  // --- locality workload: partitioned scheduling at Laplacian scale --------
+  // A million-row 2D grid Laplacian (ROADMAP's graph-Laplacian-scale
+  // target; --smoke shrinks the grid), prepared-handle AsyRGS throughput:
+  // unpartitioned baseline vs RCM-partitioned scheduling with a few percent
+  // of halo stealing, free-running, at the headline worker count.  On
+  // single-core (timeshared) hosts the cache-locality win is muted — the
+  // point records the ratio either way, plus the one-time analysis cost.
+  const index_t lap_nx = *smoke ? 96 : 1024;
+  const CsrMatrix lap_a = laplacian_2d(lap_nx, lap_nx);
+  const int lap_partitions = 8;
+  const double lap_steal = 0.05;
+  const int lap_workers = static_cast<int>(*headline);
+  const int lap_sweeps = *smoke ? 2 : 8;
+  double lap_base_ups = 0.0, lap_part_ups = 0.0, lap_prepare_seconds = 0.0;
+  {
+    SpdProblem handle(pool, lap_a, /*check_input=*/false);
+    const std::vector<double> lap_b = random_vector(lap_a.rows(), 77);
+    SolveControls lap_controls;
+    lap_controls.method = SpdMethod::kAsyncRgs;
+    lap_controls.sweeps = lap_sweeps;
+    lap_controls.workers = lap_workers;
+    lap_controls.sync = SyncMode::kFreeRunning;
+    std::vector<double> lap_x(static_cast<std::size_t>(lap_a.rows()), 0.0);
+    for (int rep = 0; rep < n_repeats; ++rep) {
+      std::fill(lap_x.begin(), lap_x.end(), 0.0);
+      const SolveOutcome out = handle.solve(lap_b, lap_x, lap_controls);
+      lap_base_ups = std::max(
+          lap_base_ups, static_cast<double>(out.updates) / out.seconds);
+    }
+    WallTimer lap_prepare_timer;
+    handle.prepare_partitions();
+    lap_prepare_seconds = lap_prepare_timer.seconds();
+    lap_controls.partitions = lap_partitions;
+    lap_controls.steal_rate = lap_steal;
+    for (int rep = 0; rep < n_repeats; ++rep) {
+      std::fill(lap_x.begin(), lap_x.end(), 0.0);
+      const SolveOutcome out = handle.solve(lap_b, lap_x, lap_controls);
+      lap_part_ups = std::max(
+          lap_part_ups, static_cast<double>(out.updates) / out.seconds);
+    }
+  }
+  const double lap_speedup =
+      lap_base_ups > 0.0 ? lap_part_ups / lap_base_ups : 0.0;
+
   // --- headline ratio ----------------------------------------------------
   const std::string headline_workload = workloads.front().name;
   double legacy_ups = 0.0, current_ups = 0.0;
@@ -1221,12 +1265,23 @@ int main(int argc, char** argv) {
             << fmt_sci(overload.p50_seconds) << "s p99="
             << fmt_sci(overload.p99_seconds) << "s\n";
 
+  // --- locality headline ---------------------------------------------------
+  // Partitioned vs unpartitioned scheduling on the grid Laplacian; the
+  // tracked ratio is the PR-10 locality trajectory metric.
+  std::cout << "# locality headline (laplacian_2d " << lap_nx << "x" << lap_nx
+            << ", n=" << lap_a.rows() << ", free-running, " << lap_workers
+            << " workers): baseline=" << fmt_sci(lap_base_ups)
+            << " partitioned[" << lap_partitions << ", steal "
+            << fmt_fixed(lap_steal, 2) << "]=" << fmt_sci(lap_part_ups)
+            << " updates/s (speedup " << fmt_fixed(lap_speedup, 2)
+            << "x, analysis " << fmt_sci(lap_prepare_seconds) << "s)\n";
+
   // --- JSON --------------------------------------------------------------
   const std::string path =
       (*out_path).empty() ? "BENCH_" + *label + ".json" : *out_path;
   std::ofstream json(path);
   json << "{\n"
-       << "  \"schema_version\": 9,\n"
+       << "  \"schema_version\": 10,\n"
        << "  \"bench\": \"bench_updates\",\n"
        << "  \"label\": \"" << json_escape(*label) << "\",\n"
        << "  \"git\": \"" << json_escape(*git_rev) << "\",\n"
@@ -1322,6 +1377,16 @@ int main(int argc, char** argv) {
                ? kaczmarz_weighted_ups / kaczmarz_uniform_ups
                : 0.0)
        << "},\n"
+       << "  \"locality_headline\": {\"workload\": \"laplacian_2d\""
+       << ", \"nx\": " << lap_nx << ", \"n\": " << lap_a.rows()
+       << ", \"nnz\": " << lap_a.nnz()
+       << ", \"mode\": \"free_running\", \"workers\": " << lap_workers
+       << ", \"partitions\": " << lap_partitions
+       << ", \"steal_rate\": " << lap_steal
+       << ", \"analysis_seconds\": " << lap_prepare_seconds
+       << ", \"baseline_updates_per_second\": " << lap_base_ups
+       << ", \"partitioned_updates_per_second\": " << lap_part_ups
+       << ", \"speedup\": " << lap_speedup << "},\n"
        << "  \"block_headline\": {\"workload\": \"" << headline_workload
        << "\", \"block_k\": " << block_k << ", \"workers\": 1"
        << ", \"scan_executed\": \"" << block_scan_executed << "\""

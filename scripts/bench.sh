@@ -102,6 +102,15 @@ if p:
                          % (f["cold_uncached_seconds_per_solve"],
                             f["uncached_speedup"]))
             print(line)
+c = d.get("locality_headline")
+if c:
+    print("bench.sh: locality (laplacian_2d %dx%d, %d workers): "
+          "baseline=%.3g partitioned[%d, steal %.2f]=%.3g upd/s "
+          "speedup=%.2fx (analysis %.3gs)"
+          % (c["nx"], c["nx"], c["workers"],
+             c["baseline_updates_per_second"], c["partitions"],
+             c["steal_rate"], c["partitioned_updates_per_second"],
+             c["speedup"], c["analysis_seconds"]))
 v = d.get("serving_throughput")
 if v:
     points = " ".join("%d-shard=%.3g solves/s" % (q["shards"],

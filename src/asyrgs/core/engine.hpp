@@ -29,10 +29,12 @@
 #include <functional>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "asyrgs/core/async_rgs.hpp"
+#include "asyrgs/gen/partition.hpp"
 #include "asyrgs/sampling/direction_sampler.hpp"
 #include "asyrgs/support/aligned.hpp"
 #include "asyrgs/support/barrier.hpp"
@@ -235,6 +237,164 @@ class DirectionPlan {
   std::vector<index_t> lo_;
   std::vector<index_t> size_;
   std::vector<Philox4x32> streams_;
+};
+
+/// Topology-aware per-worker schedule over a GraphPartition
+/// (gen/partition.hpp) with stochastic boundary stealing — the partitioned
+/// alternative to DirectionPlan, sharing its interface so the engine bodies
+/// serve both (run_engine_with_plan).
+///
+/// Worker w of a team of T executes partitions {w, w+T, w+2T, ...}
+/// round-robin; partition p draws from its OWN Philox stream (keyed by seed
+/// and p), and the position of sweep s's t-th draw in that stream is
+/// s * size_p + t — independent of which worker executes it.  The direction
+/// multiset for a fixed (seed, partition, steal_rate) is therefore
+/// invariant across team sizes: the partitioned analogue of the shared
+/// scope's stream-tiling invariance, with the same test obligations
+/// (tests/test_partition.cpp).
+///
+/// Each draw consumes one 64-bit word: the high 32 bits decide owned-range
+/// vs halo against a fixed threshold (round(steal_rate * 2^32)); the low 32
+/// bits select the index inside the chosen set by 32-bit multiply reduction
+/// (bias <= set_size / 2^32, negligible at cache-line-sized partitions).
+/// Using disjoint halves keeps the steal decision from biasing the
+/// within-set position.  A partition with an empty halo never steals.
+///
+/// The borrowed GraphPartition must outlive the plan (the engine run borrows
+/// it from the prepared handle's partition analysis).
+class PartitionedDirectionPlan {
+ public:
+  PartitionedDirectionPlan(std::uint64_t seed, const GraphPartition& partition,
+                           double steal_rate, int team)
+      : part_(&partition),
+        team_(team),
+        threshold_(steal_threshold(steal_rate)) {
+    const int count = partition.count();
+    streams_.reserve(static_cast<std::size_t>(count));
+    for (int p = 0; p < count; ++p)
+      streams_.emplace_back(splitmix64(
+          seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(p + 1)));
+    // Prefix sums of the owned-partition sizes per worker: cum_[w][j] is
+    // the first within-sweep position of worker w's j-th partition
+    // (partition id w + j*T).
+    cum_.resize(static_cast<std::size_t>(team));
+    for (int w = 0; w < team; ++w) {
+      std::vector<index_t>& cum = cum_[static_cast<std::size_t>(w)];
+      cum.push_back(0);
+      for (int p = w; p < count; p += team)
+        cum.push_back(cum.back() + partition.size_of(p));
+    }
+  }
+
+  /// Updates worker w performs per sweep (the total size of its owned
+  /// partitions; the team-wide sum is n).
+  [[nodiscard]] index_t per_sweep(int w) const {
+    return cum_[static_cast<std::size_t>(w)].back();
+  }
+
+  [[nodiscard]] std::uint64_t total_updates(int w, int sweeps) const {
+    return static_cast<std::uint64_t>(sweeps) *
+           static_cast<std::uint64_t>(per_sweep(w));
+  }
+
+  /// Direction for worker w's t-th update of sweep `sweep` (barrier mode).
+  [[nodiscard]] index_t pick_in_sweep(int w, int sweep, index_t t) const {
+    const std::vector<index_t>& cum = cum_[static_cast<std::size_t>(w)];
+    const std::size_t j = segment_of(cum, t);
+    const int p = w + static_cast<int>(j) * team_;
+    const std::uint64_t k =
+        static_cast<std::uint64_t>(sweep) *
+            static_cast<std::uint64_t>(part_->size_of(p)) +
+        static_cast<std::uint64_t>(t - cum[j]);
+    return map_draw(streams_[static_cast<std::size_t>(p)].at(k), p);
+  }
+
+  /// Direction for worker w's k-th update in free-running/timed numbering
+  /// (sweep-major: sweep k / per_sweep, step k % per_sweep).  Requires
+  /// per_sweep(w) > 0 — the engine never asks a worker with no owned rows
+  /// for a direction (its total is 0).
+  [[nodiscard]] index_t pick(int w, std::uint64_t k) const {
+    const std::uint64_t mine = static_cast<std::uint64_t>(per_sweep(w));
+    return pick_in_sweep(w, static_cast<int>(k / mine),
+                         static_cast<index_t>(k % mine));
+  }
+
+  /// out[i] = pick_in_sweep(w, sweep, t0 + i), batched: bulk Philox words
+  /// per partition segment, then the steal/reduce map in place.
+  void fill_in_sweep(int w, int sweep, index_t t0, std::size_t count,
+                     index_t* out) const {
+    const std::vector<index_t>& cum = cum_[static_cast<std::size_t>(w)];
+    index_t t = t0;
+    std::size_t written = 0;
+    while (written < count) {
+      const std::size_t j = segment_of(cum, t);
+      const int p = w + static_cast<int>(j) * team_;
+      const index_t size = part_->size_of(p);
+      const std::size_t seg = static_cast<std::size_t>(std::min<index_t>(
+          cum[j + 1] - t, static_cast<index_t>(count - written)));
+      const std::uint64_t k0 = static_cast<std::uint64_t>(sweep) *
+                                   static_cast<std::uint64_t>(size) +
+                               static_cast<std::uint64_t>(t - cum[j]);
+      std::uint64_t* const words =
+          reinterpret_cast<std::uint64_t*>(out + written);
+      streams_[static_cast<std::size_t>(p)].fill_at(k0, seg, words);
+      for (std::size_t i = 0; i < seg; ++i)
+        out[written + i] = map_draw(words[i], p);
+      written += seg;
+      t += static_cast<index_t>(seg);
+    }
+  }
+
+  /// out[i] = pick(w, k0 + i); a chunk may span sweep boundaries.
+  void fill(int w, std::uint64_t k0, std::size_t count, index_t* out) const {
+    const std::uint64_t mine = static_cast<std::uint64_t>(per_sweep(w));
+    std::size_t written = 0;
+    while (written < count) {
+      const std::uint64_t k = k0 + static_cast<std::uint64_t>(written);
+      const index_t t = static_cast<index_t>(k % mine);
+      const std::size_t seg = static_cast<std::size_t>(std::min<std::uint64_t>(
+          mine - static_cast<std::uint64_t>(t),
+          static_cast<std::uint64_t>(count - written)));
+      fill_in_sweep(w, static_cast<int>(k / mine), t, seg, out + written);
+      written += seg;
+    }
+  }
+
+  [[nodiscard]] int team() const noexcept { return team_; }
+
+ private:
+  [[nodiscard]] static std::uint32_t steal_threshold(double rate) noexcept {
+    if (rate <= 0.0) return 0;
+    const double scaled = rate * 4294967296.0;  // 2^32
+    return scaled >= 4294967295.0 ? 0xFFFFFFFFu
+                                  : static_cast<std::uint32_t>(scaled);
+  }
+
+  /// Index j with cum[j] <= t < cum[j+1], skipping empty partitions (cum is
+  /// short: ceil(partitions/team) entries, a linear walk beats a search).
+  [[nodiscard]] static std::size_t segment_of(const std::vector<index_t>& cum,
+                                              index_t t) noexcept {
+    std::size_t j = 0;
+    while (cum[j + 1] <= t) ++j;
+    return j;
+  }
+
+  [[nodiscard]] index_t map_draw(std::uint64_t u, int p) const noexcept {
+    const std::uint64_t lo32 = u & 0xFFFFFFFFull;
+    const std::vector<index_t>& halo =
+        part_->halo[static_cast<std::size_t>(p)];
+    if (static_cast<std::uint32_t>(u >> 32) < threshold_ && !halo.empty())
+      return halo[(lo32 * static_cast<std::uint64_t>(halo.size())) >> 32];
+    return part_->lo_of(p) +
+           static_cast<index_t>(
+               (lo32 * static_cast<std::uint64_t>(part_->size_of(p))) >> 32);
+  }
+
+  const GraphPartition* part_;
+  int team_;
+  std::uint32_t threshold_;
+  std::vector<Philox4x32> streams_;
+  std::vector<std::vector<index_t>> cum_;
 };
 
 /// Maps the runtime (atomic_writes, scan) option pair onto the compile-time
@@ -447,28 +607,29 @@ struct EngineSampling {
 /// it only when options request history tracking or a tolerance.
 ///
 /// The thread pool may shrink a team to 1 on nested calls; the engine then
-/// builds the matching single-worker DirectionPlan lazily instead of paying
-/// for a throwaway fallback plan in every worker.
+/// builds the matching single-worker plan lazily (make_plan(team)) instead
+/// of paying for a throwaway fallback plan in every worker.
 ///
 /// `scratch` (optional) supplies reusable per-worker direction buffers; a
 /// prepared handle passes its own so repeated solves skip the allocations,
 /// while one-shot callers leave it null and pay a local scratch per call.
-template <typename UpdateFn, typename ResidualFn>
-void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
-                        index_t n, int workers,
-                        const EngineSampling& sampling, UpdateFn&& update,
-                        ResidualFn&& residual, AsyncRgsReport& report,
-                        EngineScratch* scratch = nullptr) {
-  if (sampling.sampler != nullptr && sampling.sampler->weighted_draws()) {
-    require(options.scope == RandomizationScope::kShared,
-            "run_engine: weighted direction sampling requires the shared "
-            "randomization scope");
-    require(sampling.sampler->directions() == n,
-            "run_engine: sampler direction count must match the engine");
-  }
-  require(!sampling.refresh || options.sync != SyncMode::kFreeRunning,
-          "run_engine: sampler refresh needs synchronization points; "
-          "kFreeRunning has none");
+///
+/// This is the plan-generic core: `make_plan(team)` builds the direction
+/// schedule (DirectionPlan or PartitionedDirectionPlan — any type with the
+/// shared per_sweep/total_updates/fill/fill_in_sweep interface) for a given
+/// team size, so the three synchronization-mode bodies exist once.
+/// run_engine_sampled below instantiates it with DirectionPlan and is the
+/// entry point for everything unpartitioned; the partitioned solve path
+/// (problem.cpp) passes a PartitionedDirectionPlan factory.  `refresh` is
+/// the EngineSampling rendezvous callback (empty = none).
+template <typename PlanFactory, typename UpdateFn, typename ResidualFn>
+void run_engine_with_plan(ThreadPool& pool, const AsyncRgsOptions& options,
+                          index_t n, int workers, PlanFactory&& make_plan,
+                          const std::function<void()>& refresh,
+                          UpdateFn&& update, ResidualFn&& residual,
+                          AsyncRgsReport& report,
+                          EngineScratch* scratch = nullptr) {
+  using Plan = std::decay_t<decltype(make_plan(1))>;
   EngineScratch local_scratch;
   if (scratch == nullptr) scratch = &local_scratch;
   scratch->prepare(workers);
@@ -478,15 +639,15 @@ void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
       static_cast<long long>(sweeps) * static_cast<long long>(n);
 
   if (options.sync == SyncMode::kFreeRunning) {
-    const DirectionPlan plan(options, n, workers, sampling.sampler);
+    const Plan plan = make_plan(workers);
     pool.run_team(workers, [&](int id, int team) {
       // The pool may shrink the team on nested calls; rebuild the plan so
       // the partitioning matches the actual team (lazily — the common
       // team == workers case pays nothing).
-      std::optional<DirectionPlan> shrunk;
-      const DirectionPlan* my_plan = &plan;
+      std::optional<Plan> shrunk;
+      const Plan* my_plan = &plan;
       if (team != workers) {
-        shrunk.emplace(options, n, team, sampling.sampler);
+        shrunk.emplace(make_plan(team));
         my_plan = &*shrunk;
       }
       const std::uint64_t my_total = my_plan->total_updates(id, sweeps);
@@ -524,16 +685,16 @@ void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
   }
 
   if (options.sync == SyncMode::kBarrierPerSweep) {
-    const DirectionPlan plan(options, n, workers, sampling.sampler);
+    const Plan plan = make_plan(workers);
     SpinBarrier barrier(workers);
     std::atomic<bool> stop{false};
     std::atomic<int> sweeps_done{0};
     pool.run_team(workers, [&](int id, int team) {
       const bool full_team = (team == workers && team > 1);
-      std::optional<DirectionPlan> shrunk;
-      const DirectionPlan* my_plan = &plan;
+      std::optional<Plan> shrunk;
+      const Plan* my_plan = &plan;
       if (team != workers) {
-        shrunk.emplace(options, n, team, sampling.sampler);
+        shrunk.emplace(make_plan(team));
         my_plan = &*shrunk;
       }
       const index_t mine = my_plan->per_sweep(id);
@@ -568,8 +729,7 @@ void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
           // Residual-policy table refresh: the team is parked at the next
           // barrier, so worker 0 may rebuild the sampler race-free; the
           // barrier release orders the new table before any later draw.
-          if (sampling.refresh && !stop.load(std::memory_order_relaxed))
-            sampling.refresh();
+          if (refresh && !stop.load(std::memory_order_relaxed)) refresh();
         }
         if (full_team) barrier.arrive_and_wait();
         if (stop.load(std::memory_order_acquire)) break;
@@ -587,16 +747,16 @@ void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
   // imbalance (the Section 5 "time based scheme").  The clock is consulted
   // once per direction-buffer refill — at most kDirectionChunk (and at most
   // one sweep-equivalent) of updates between checks.
-  const DirectionPlan plan(options, n, workers, sampling.sampler);
+  const Plan plan = make_plan(workers);
   SpinBarrier barrier(workers);
   std::atomic<bool> stop{false};
   std::atomic<long long> updates_done{0};
   pool.run_team(workers, [&](int id, int team) {
     const bool full_team = (team == workers && team > 1);
-    std::optional<DirectionPlan> shrunk;
-    const DirectionPlan* my_plan = &plan;
+    std::optional<Plan> shrunk;
+    const Plan* my_plan = &plan;
     if (team != workers) {
-      shrunk.emplace(options, n, team, sampling.sampler);
+      shrunk.emplace(make_plan(team));
       my_plan = &*shrunk;
     }
     const std::uint64_t my_total = my_plan->total_updates(id, sweeps);
@@ -645,7 +805,7 @@ void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
           }
         }
         // Same rendezvous-refresh contract as kBarrierPerSweep above.
-        if (sampling.refresh && !should_stop) sampling.refresh();
+        if (refresh && !should_stop) refresh();
         if (should_stop) stop.store(true, std::memory_order_release);
       }
       if (full_team) barrier.arrive_and_wait();
@@ -654,6 +814,35 @@ void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
   report.updates = updates_done.load(std::memory_order_relaxed);
   report.sweeps_done =
       static_cast<int>(report.updates / std::max<index_t>(n, 1));
+}
+
+/// Sampled engine run over the shared/owner-computes DirectionPlan — the
+/// entry point for every unpartitioned solve.  Validates the sampling
+/// contract, then delegates to run_engine_with_plan with a DirectionPlan
+/// factory (byte-identical to the historical inline bodies).
+template <typename UpdateFn, typename ResidualFn>
+void run_engine_sampled(ThreadPool& pool, const AsyncRgsOptions& options,
+                        index_t n, int workers,
+                        const EngineSampling& sampling, UpdateFn&& update,
+                        ResidualFn&& residual, AsyncRgsReport& report,
+                        EngineScratch* scratch = nullptr) {
+  if (sampling.sampler != nullptr && sampling.sampler->weighted_draws()) {
+    require(options.scope == RandomizationScope::kShared,
+            "run_engine: weighted direction sampling requires the shared "
+            "randomization scope");
+    require(sampling.sampler->directions() == n,
+            "run_engine: sampler direction count must match the engine");
+  }
+  require(!sampling.refresh || options.sync != SyncMode::kFreeRunning,
+          "run_engine: sampler refresh needs synchronization points; "
+          "kFreeRunning has none");
+  run_engine_with_plan(
+      pool, options, n, workers,
+      [&](int team) {
+        return DirectionPlan(options, n, team, sampling.sampler);
+      },
+      sampling.refresh, std::forward<UpdateFn>(update),
+      std::forward<ResidualFn>(residual), report, scratch);
 }
 
 /// Uniform-sampling engine run — the historical entry point.  Delegates

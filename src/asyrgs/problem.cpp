@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "asyrgs/core/engine.hpp"
 #include "asyrgs/core/kernels.hpp"
+#include "asyrgs/gen/partition.hpp"
 #include "asyrgs/iter/cg.hpp"
 #include "asyrgs/iter/fcg.hpp"
 #include "asyrgs/iter/precond.hpp"
@@ -24,6 +26,37 @@ namespace detail {
 struct ProblemScratch {
   std::vector<RhsDiagPair> rhs_diag;
   EngineScratch engine;
+  /// Partitioned-solve staging: the iterate in RCM order, cache-line
+  /// aligned so partition-owned slices never share a line (the boundaries
+  /// are cut at kPartitionAlignRows multiples), and the permuted rhs.
+  aligned_vector<double> xp;
+  std::vector<double> bp;
+};
+
+/// Prepare-time partition analysis for SpdProblem: the RCM analysis (order +
+/// permuted operator), the reciprocals of the permuted diagonal, and — when
+/// the handle's storage policy narrows — a compact copy of the permuted
+/// operator, so partitioned solves run the same storage the unpartitioned
+/// path does.  Immutable once constructed; clones alias it via shared_ptr
+/// exactly like the compact storage copies.
+struct SpdPartitionState {
+  PartitionAnalysis analysis;
+  std::vector<double> inv_diag;  ///< 1/diag in permuted (RCM) order
+  std::shared_ptr<const CsrMatrix32> a32;
+  std::shared_ptr<const CsrMatrixMixed> amixed;
+
+  SpdPartitionState(const CsrMatrix& a, StoragePolicy policy) : analysis(a) {
+    // The symmetric permutation maps diagonal to diagonal, so the handle's
+    // strict-positivity validation covers these reciprocals too.
+    inv_diag = analysis.permuted().diagonal();
+    for (double& d : inv_diag) d = 1.0 / d;
+    if (policy == StoragePolicy::kInt32Double)
+      a32 = std::make_shared<const CsrMatrix32>(
+          convert_storage<std::int32_t, double>(analysis.permuted()));
+    else if (policy == StoragePolicy::kInt32Mixed)
+      amixed = std::make_shared<const CsrMatrixMixed>(
+          convert_storage<std::int32_t, float>(analysis.permuted()));
+  }
 };
 
 }  // namespace detail
@@ -65,6 +98,31 @@ void validate_sampling_controls(const SolveControls& controls, const char* who,
     if (controls.resample_sweeps < 1)
       fail("resample_sweeps must be at least 1");
   }
+}
+
+/// Preconditions for partitioned scheduling.  Callers that cannot serve it
+/// at all (block, least squares, Krylov) reject partitions != 0 themselves
+/// with a pointer to the supported path; this validates the knobs on any
+/// path, including that steal_rate is inert without partitions.
+void validate_partition_controls(const SolveControls& controls,
+                                 const char* who) {
+  auto fail = [&](const char* what) {
+    throw Error(std::string(who) + ": " + what);
+  };
+  if (controls.partitions < 0) fail("partitions must be non-negative");
+  if (controls.partitions == 0) {
+    if (controls.steal_rate != 0.0)
+      fail("steal_rate requires partitioned scheduling (partitions >= 1)");
+    return;
+  }
+  if (!(controls.steal_rate >= 0.0 && controls.steal_rate < 1.0))
+    fail("steal_rate must be in [0, 1)");
+  if (controls.sampling != SamplingPolicy::kUniform)
+    fail("partitioned scheduling draws uniformly within partitions; "
+         "non-uniform sampling policies apply to the unpartitioned engine");
+  if (controls.scope != RandomizationScope::kShared)
+    fail("partitioned scheduling supplies its own ownership structure; use "
+         "the shared randomization scope");
 }
 
 std::string sampling_note(const SolveControls& controls) {
@@ -214,9 +272,13 @@ const char* to_string(StorageMode mode) noexcept {
 }
 
 StoragePolicy resolve_storage_policy(StorageMode mode, index_t max_index,
-                                     bool* fell_back) noexcept {
+                                     nnz_t nnz, bool* fell_back) noexcept {
   if (fell_back != nullptr) *fell_back = false;
-  const bool fits = index_width_fits<std::int32_t>(max_index);
+  // Both guards must pass: the index width for the coordinates, and the
+  // (conservative — see the header) int32 bound on the nonzero count.
+  const bool fits =
+      index_width_fits<std::int32_t>(max_index) &&
+      nnz <= static_cast<nnz_t>(std::numeric_limits<std::int32_t>::max());
   switch (mode) {
     case StorageMode::kInt64Double:
       return StoragePolicy::kInt64Double;
@@ -303,7 +365,7 @@ SpdProblem::SpdProblem(ThreadPool& pool, const CsrMatrix& a, bool check_input,
   // full-width diagonal — the narrow kernels read the matrix values narrow
   // but the update constants at full precision.
   bool fell_back = false;
-  storage_ = resolve_storage_policy(storage, a.cols(), &fell_back);
+  storage_ = resolve_storage_policy(storage, a.cols(), a.nnz(), &fell_back);
   if (fell_back) ++stats_.storage_fallbacks;
   if (storage_ == StoragePolicy::kInt32Double)
     a32_ = std::make_shared<const CsrMatrix32>(
@@ -326,9 +388,29 @@ SpdProblem::SpdProblem(ThreadPool& pool, const SpdProblem& other)
   // (analysis once per service) extends to the narrowing pass.
   stats_.storage = storage_;
   stats_.storage_fallbacks = other.stats_.storage_fallbacks;
+  // The partition analysis is built lazily, so unlike the members above it
+  // must be read under the prototype's lock (cloning stays safe concurrently
+  // with solves on `other`).  The clone aliases the analysis and reports
+  // zero partition_builds, like transpose_builds.
+  const std::scoped_lock lock(other.mutex_);
+  partition_ = other.partition_;
 }
 
 SpdProblem::~SpdProblem() = default;
+
+const detail::SpdPartitionState& SpdProblem::partition_state() {
+  if (!partition_) {
+    partition_ =
+        std::make_shared<const detail::SpdPartitionState>(a_, storage_);
+    ++stats_.partition_builds;
+  }
+  return *partition_;
+}
+
+void SpdProblem::prepare_partitions() {
+  const std::scoped_lock lock(mutex_);
+  partition_state();
+}
 
 ProblemStats SpdProblem::stats() const {
   const std::scoped_lock lock(mutex_);
@@ -361,9 +443,16 @@ SolveOutcome SpdProblem::solve(const std::vector<double>& b,
             "SpdProblem::solve: the Krylov methods draw no random "
             "directions; sampling policies apply to the asynchronous "
             "methods");
-  SolveOutcome out = method == SpdMethod::kAsyncRgs
-                         ? solve_async_single(b, x, controls)
-                         : solve_krylov(b, x, controls, method);
+  validate_partition_controls(controls, "SpdProblem::solve");
+  if (controls.partitions != 0)
+    require(method == SpdMethod::kAsyncRgs,
+            "SpdProblem::solve: partitioned scheduling applies to the "
+            "asynchronous method only (the method must resolve to "
+            "kAsyncRgs)");
+  SolveOutcome out =
+      method != SpdMethod::kAsyncRgs ? solve_krylov(b, x, controls, method)
+      : controls.partitions != 0     ? solve_async_partitioned(b, x, controls)
+                                     : solve_async_single(b, x, controls);
   out.method_used = method;
   ++stats_.solves;
   return out;
@@ -461,6 +550,106 @@ SolveOutcome SpdProblem::solve_async_single_on(const Matrix& a,
   return out;
 }
 
+SolveOutcome SpdProblem::solve_async_partitioned(
+    const std::vector<double>& b, std::vector<double>& x,
+    const SolveControls& controls) {
+  const detail::SpdPartitionState& st = partition_state();
+  switch (storage_) {
+    case StoragePolicy::kInt32Double:
+      return solve_async_partitioned_on(*st.a32, b, x, controls);
+    case StoragePolicy::kInt32Mixed:
+      return solve_async_partitioned_on(*st.amixed, b, x, controls);
+    case StoragePolicy::kInt64Double:
+      break;
+  }
+  return solve_async_partitioned_on(st.analysis.permuted(), b, x, controls);
+}
+
+template <class Matrix>
+SolveOutcome SpdProblem::solve_async_partitioned_on(
+    const Matrix& a, const std::vector<double>& b, std::vector<double>& x,
+    const SolveControls& controls) {
+  using Index = typename Matrix::index_type;
+  using Value = typename Matrix::value_type;
+  const detail::SpdPartitionState& st = *partition_;
+  const AsyncRgsOptions options = to_async_rgs_options(controls);
+  validate_async_controls(options, "SpdProblem::solve");
+  const index_t n = a.rows();
+  const double beta = options.step_size;
+  const int workers = clamp_workers(options.workers, pool_);
+
+  // The cut is partition-count-keyed and cached on the analysis; the clamp
+  // to [1, n] happens inside and is surfaced via partitions_used.
+  const std::shared_ptr<const GraphPartition> cut =
+      st.analysis.cut(controls.partitions);
+  const int partitions = cut->count();
+
+  AsyncRgsReport report;
+  report.workers = workers;
+  report.scan_used = options.scan;
+
+  // Permute the problem into RCM space: xp[i] = x[perm[i]], bp likewise.
+  // The engine then runs entirely on the permuted operator, with the
+  // iterate in cache-line-aligned storage and partition boundaries cut at
+  // line multiples — cross-worker sharing of an iterate line happens only
+  // on deliberate halo steals.
+  const std::vector<index_t>& perm = st.analysis.perm();
+  aligned_vector<double>& xp = scratch_->xp;
+  std::vector<double>& bp = scratch_->bp;
+  xp.resize(b.size());
+  bp.resize(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const std::size_t o = static_cast<std::size_t>(perm[i]);
+    xp[i] = x[o];
+    bp[i] = b[o];
+  }
+
+  detail::pack_rhs_diag(bp, st.inv_diag, scratch_->rhs_diag);
+  // The residual norm is permutation-invariant, so evaluating it on the
+  // permuted system reports exactly the metric the unpartitioned path
+  // would.
+  detail::SingleRhsResidual residual(a, bp, xp.data(), workers,
+                                     scratch_->engine.reduce(workers));
+
+  WallTimer timer;
+  detail::dispatch_atomic_scan(options, [&]<bool kAtomic, ScanMode kScan>() {
+    const detail::SingleRhsUpdate<kAtomic, kScan, Index, Value> update{
+        a.row_ptr().data(),        a.col_idx().data(), a.values().data(),
+        scratch_->rhs_diag.data(), xp.data(),          beta};
+    detail::run_engine_with_plan(
+        pool_, options, n, workers,
+        [&](int team) {
+          return detail::PartitionedDirectionPlan(options.seed, *cut,
+                                                  controls.steal_rate, team);
+        },
+        /*refresh=*/std::function<void()>{}, update, residual, report,
+        &scratch_->engine);
+  });
+  report.seconds = timer.seconds();
+
+  for (std::size_t i = 0; i < b.size(); ++i)
+    x[static_cast<std::size_t>(perm[i])] = xp[i];
+
+  std::string steal = std::to_string(controls.steal_rate);
+  // Trim to the informative digits (to_string pads to 6 decimals).
+  while (steal.size() > 1 && steal.back() == '0') steal.pop_back();
+  if (!steal.empty() && steal.back() == '.') steal.pop_back();
+  std::string description =
+      std::string("AsyRGS, ") + std::to_string(workers) + " threads, " +
+      sync_name(options.sync) + ", " + std::to_string(partitions) +
+      " partitions (RCM, steal " + steal + ")";
+  if constexpr (Matrix::kStorage != StoragePolicy::kInt64Double)
+    description += std::string(", ") + to_string(Matrix::kStorage) +
+                   " storage";
+  SolveOutcome out = outcome_from_report(std::move(report), options,
+                                         std::move(description));
+  out.storage_used = Matrix::kStorage;
+  out.sampling_used = controls.sampling;
+  out.partitions_used = partitions;
+  out.steal_rate_used = controls.steal_rate;
+  return out;
+}
+
 SolveOutcome SpdProblem::solve_krylov(const std::vector<double>& b,
                                       std::vector<double>& x,
                                       const SolveControls& controls,
@@ -523,6 +712,10 @@ SolveOutcome SpdProblem::solve(const MultiVector& b, MultiVector& x,
           "block right-hand sides");
   validate_sampling_controls(controls, "SpdProblem::solve(block)",
                              /*residual_ok=*/false);
+  validate_partition_controls(controls, "SpdProblem::solve(block)");
+  require(controls.partitions == 0,
+          "SpdProblem::solve(block): partitioned scheduling is "
+          "single-right-hand-side only");
   SolveOutcome out;
   switch (storage_) {
     case StoragePolicy::kInt32Double:
@@ -695,7 +888,7 @@ LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
   // larger of the two dimensions.
   bool fell_back = false;
   storage_ = resolve_storage_policy(storage, std::max(a.rows(), a.cols()),
-                                    &fell_back);
+                                    a.nnz(), &fell_back);
   if (fell_back) ++stats_.storage_fallbacks;
   if (storage_ == StoragePolicy::kInt32Double)
     narrow_lsq_pair<std::int32_t, double>(a, *at_, a32_, at32_);
@@ -726,7 +919,7 @@ LsqProblem::LsqProblem(ThreadPool& pool, const CsrMatrix& a,
   ++stats_.validation_passes;
   bool fell_back = false;
   storage_ = resolve_storage_policy(storage, std::max(a.rows(), a.cols()),
-                                    &fell_back);
+                                    a.nnz(), &fell_back);
   if (fell_back) ++stats_.storage_fallbacks;
   if (storage_ == StoragePolicy::kInt32Double)
     narrow_lsq_pair<std::int32_t, double>(a, at, a32_, at32_);
@@ -775,6 +968,10 @@ SolveOutcome LsqProblem::solve(const std::vector<double>& b,
           "LsqProblem::solve: least squares is served by the asynchronous "
           "methods (kAsyncRgs coordinate descent or kAsyncKaczmarz row "
           "action)");
+  validate_partition_controls(controls, "LsqProblem::solve");
+  require(controls.partitions == 0,
+          "LsqProblem::solve: partitioned scheduling is served by "
+          "SpdProblem (it partitions a symmetric operator's graph)");
   const bool kaczmarz = controls.method == SpdMethod::kAsyncKaczmarz;
   SolveOutcome out;
   switch (storage_) {

@@ -104,15 +104,21 @@ enum class StorageMode {
 /// Resolves a storage request against the widest coordinate a policy's
 /// index type must represent (`max_index` = cols() for SPD handles; for
 /// least-squares handles max(rows(), cols()), because the transpose's
-/// column indices are row indices).  kAuto narrows whenever the shape
-/// fits; an explicit narrow request that does not fit falls back to
-/// kInt64Double and reports it through `*fell_back` (surfaced as
-/// ProblemStats::storage_fallbacks).  Exposed separately so the overflow
-/// guard is testable by shape arithmetic alone — exercising the fallback
-/// through a real handle would require materializing a > 2^31-row
+/// column indices are row indices) and the matrix's nonzero count.  kAuto
+/// narrows whenever both fit int32; an explicit narrow request that does
+/// not fit falls back to kInt64Double and reports it through `*fell_back`
+/// (surfaced as ProblemStats::storage_fallbacks).  The nnz guard is
+/// deliberately conservative: the compact row-pointer array physically
+/// stays 64-bit, but a matrix whose nnz overflows int32 is far past the
+/// regime where index narrowing pays, and refusing it keeps every count
+/// derived from the compact copy (row extents, per-partition nnz) safely
+/// inside 32-bit arithmetic.  Exposed separately so both overflow guards
+/// are testable by shape arithmetic alone — exercising the fallback
+/// through a real handle would require materializing a > 2^31-entry
 /// operator.
 [[nodiscard]] StoragePolicy resolve_storage_policy(
-    StorageMode mode, index_t max_index, bool* fell_back = nullptr) noexcept;
+    StorageMode mode, index_t max_index, nnz_t nnz,
+    bool* fell_back = nullptr) noexcept;
 
 /// Per-call knobs for a prepared handle, deliberately separated from the
 /// per-problem state (matrix, pool, validation policy) bound at handle
@@ -155,6 +161,22 @@ struct SolveControls {
   /// synchronization rendezvous (sweeps under kBarrierPerSweep, rounds
   /// under kTimedBarrier).  Must be >= 1; see docs/TUNING.md for sizing.
   int resample_sweeps = 8;
+  /// Topology-aware partitioned scheduling (SpdProblem single-RHS AsyRGS
+  /// only).  0 = off (the paper's any-worker-any-coordinate model).  >= 1
+  /// reorders the operator by reverse Cuthill-McKee, cuts it into this many
+  /// cache-line-aligned partitions balanced by nonzeros, and has each
+  /// worker draw only from the partitions it owns plus their halos — the
+  /// locality layer for graph-Laplacian scale (docs/TUNING.md).  Clamped to
+  /// the dimension; the clamp is surfaced as SolveOutcome::partitions_used.
+  /// Requires kUniform sampling and RandomizationScope::kShared.
+  int partitions = 0;
+  /// Probability in [0, 1) that a partitioned draw steals a halo row
+  /// (a neighbour-owned boundary row) instead of an owned row — the
+  /// cross-partition coupling knob.  Liu-Wright-style restricted sampling:
+  /// 0 is pure owner-computes; a few percent restores the information flow
+  /// across cuts that the convergence theory leans on.  Requires
+  /// partitions >= 1.
+  double steal_rate = 0.0;
 };
 
 /// Unified result of a handle solve.
@@ -181,6 +203,11 @@ struct SolveOutcome {
   /// Direction-draw distribution the run used (kUniform for the Krylov
   /// methods, which draw no directions).
   SamplingPolicy sampling_used = SamplingPolicy::kUniform;
+  /// Partition count the run actually used (SolveControls::partitions after
+  /// clamping to the dimension); 0 = unpartitioned scheduling.
+  int partitions_used = 0;
+  /// Halo steal probability the partitioned run used (0 when unpartitioned).
+  double steal_rate_used = 0.0;
   std::vector<double> residual_history;  ///< per synchronization, if tracked
   std::string description;   ///< human-readable method/mode summary
 
@@ -204,6 +231,12 @@ namespace detail {
 /// in problem.cpp so the unstable engine/kernel internals never enter this
 /// public header.
 struct ProblemScratch;
+
+/// Prepare-time partition analysis for SpdProblem (RCM permutation, the
+/// permuted operator — narrowed per the handle's storage policy — and its
+/// permuted diagonal reciprocals); defined in problem.cpp.  Immutable once
+/// built, shared between clones like the compact storage copies.
+struct SpdPartitionState;
 }  // namespace detail
 
 /// Counters of the preparation work a handle has performed — lets tests (and
@@ -229,6 +262,10 @@ struct ProblemStats {
   /// weighted sampler (amortized across solves), plus every residual-policy
   /// build/refresh.  Repeat kWeighted solves must not increase this.
   long long sampler_builds = 0;
+  /// RCM partition analyses performed (0 or 1 per handle: built on the
+  /// first partitioned solve or prepare_partitions() call and cached;
+  /// clones inherit the analysis and report 0).
+  int partition_builds = 0;
 };
 
 /// Prepared handle for repeated solves of SPD A x = b against one matrix.
@@ -249,12 +286,13 @@ class SpdProblem {
              StorageMode storage = StorageMode::kAuto);
 
   /// Shard clone: binds `pool` to the matrix of `other` and reuses its
-  /// completed analysis (diagonal reciprocals, the symmetry verdict) instead
-  /// of re-validating — the per-shard construction path of SolverService,
-  /// where N pools serve one analyzed matrix.  O(n), no O(nnz) work; the
-  /// clone's ProblemStats start at zero validation passes / transpose
-  /// builds.  `other` must be fully constructed (its prepared state is
-  /// immutable, so cloning is safe concurrently with solves on `other`).
+  /// completed analysis (diagonal reciprocals, the symmetry verdict, and —
+  /// when already built — the partition analysis) instead of re-validating —
+  /// the per-shard construction path of SolverService, where N pools serve
+  /// one analyzed matrix.  O(n), no O(nnz) work; the clone's ProblemStats
+  /// start at zero validation passes / transpose / partition builds.
+  /// `other` must be fully constructed; cloning is safe concurrently with
+  /// solves on `other` (the lazily built caches are read under its lock).
   SpdProblem(ThreadPool& pool, const SpdProblem& other);
   ~SpdProblem();  // out-of-line: ProblemScratch is incomplete here
 
@@ -274,6 +312,12 @@ class SpdProblem {
   SolveOutcome solve(const MultiVector& b, MultiVector& x,
                      const SolveControls& controls = {});
 
+  /// Forces the RCM partition analysis now instead of on the first
+  /// partitioned solve — the prepare-time hook SolverService uses so shard
+  /// clones inherit the analysis and serving never pays it on a request.
+  /// Idempotent; counted once in ProblemStats::partition_builds.
+  void prepare_partitions();
+
   [[nodiscard]] const CsrMatrix& matrix() const noexcept { return a_; }
   [[nodiscard]] ThreadPool& pool() const noexcept { return pool_; }
   [[nodiscard]] index_t dimension() const noexcept { return a_.rows(); }
@@ -285,9 +329,16 @@ class SpdProblem {
  private:
   friend class AsyRgsPreconditioner;
 
+  /// The cached partition analysis, building it on first use (caller must
+  /// hold mutex_).
+  const detail::SpdPartitionState& partition_state();
+
   SolveOutcome solve_async_single(const std::vector<double>& b,
                                   std::vector<double>& x,
                                   const SolveControls& controls);
+  SolveOutcome solve_async_partitioned(const std::vector<double>& b,
+                                       std::vector<double>& x,
+                                       const SolveControls& controls);
   SolveOutcome solve_krylov(const std::vector<double>& b,
                             std::vector<double>& x,
                             const SolveControls& controls, SpdMethod method);
@@ -297,6 +348,11 @@ class SpdProblem {
                                      const std::vector<double>& b,
                                      std::vector<double>& x,
                                      const SolveControls& controls);
+  template <class Matrix>
+  SolveOutcome solve_async_partitioned_on(const Matrix& a,
+                                          const std::vector<double>& b,
+                                          std::vector<double>& x,
+                                          const SolveControls& controls);
   template <class Matrix>
   SolveOutcome solve_block_on(const Matrix& a, const MultiVector& b,
                               MultiVector& x, const SolveControls& controls);
@@ -313,6 +369,10 @@ class SpdProblem {
   /// matrix), built lazily on the first weighted solve and cached — guarded
   /// by mutex_ like all mutable solve state.
   std::optional<DirectionSampler> weighted_sampler_;
+  /// Partition analysis (RCM order + permuted operator), built lazily on
+  /// the first partitioned solve or prepare_partitions() and cached —
+  /// mutex_-guarded; clones alias the prototype's state.
+  std::shared_ptr<const detail::SpdPartitionState> partition_;
   mutable std::recursive_mutex mutex_;  // recursive: FCG solves re-enter via
                                         // the preconditioner's inner solves
   std::unique_ptr<detail::ProblemScratch> scratch_;

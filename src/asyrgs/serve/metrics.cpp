@@ -69,7 +69,8 @@ std::string format_json_trace(const TraceEvent& event) {
        << event.kind << "\",\"status\":\"" << event.status
        << "\",\"storage\":\"" << event.storage
        << "\",\"sampling\":\"" << event.sampling
-       << "\",\"shard\":" << event.shard << ",\"priority\":" << event.priority
+       << "\",\"partitions\":" << event.partitions
+       << ",\"shard\":" << event.shard << ",\"priority\":" << event.priority
        << ",\"warm_start\":" << (event.warm_start ? "true" : "false")
        << ",\"enqueue_us\":" << us(event.enqueue_seconds)
        << ",\"start_us\":" << (event.start_seconds < 0.0

@@ -89,6 +89,10 @@ struct TraceEvent {
   /// (SolveOutcome::sampling_used); "" for requests that never executed or
   /// threw.
   const char* sampling = "";
+  /// Partition count the executed solve scheduled over
+  /// (SolveOutcome::partitions_used); 0 = unpartitioned, and for requests
+  /// that never executed or threw.
+  int partitions = 0;
   int shard = -1;               ///< executing shard; -1 = never executed
   int priority = 0;             ///< admitted priority class
   bool warm_start = false;      ///< request carried an initial iterate

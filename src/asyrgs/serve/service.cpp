@@ -156,6 +156,7 @@ void emit_trace(const ServiceImpl& impl, const TicketState& t) {
   if (!t.error && t.started) {
     event.storage = to_string(t.outcome.storage_used);
     event.sampling = to_string(t.outcome.sampling_used);
+    event.partitions = t.outcome.partitions_used;
   }
   event.shard = t.shard;
   event.priority = t.priority;
@@ -363,25 +364,21 @@ SolverService::SolverService(const CsrMatrix& a, ServiceOptions options) {
     // 3+3+2, not 2+2+2).  The resulting pools can differ in size by one —
     // pin SolveControls::workers for cross-shard bit-identity (header
     // note).
-    int workers = options.workers_per_shard;
-    if (workers <= 0) {
-      const int hw = static_cast<int>(std::thread::hardware_concurrency());
-      if (hw <= 0) {
-        workers = 1;
-      } else {
-        workers = hw / options.shards + (s < hw % options.shards ? 1 : 0);
-        if (workers < 1) workers = 1;
-      }
-    }
+    const int workers = detail::shard_auto_workers(
+        options.workers_per_shard, s, options.shards,
+        std::thread::hardware_concurrency());
     detail::ServiceShard& shard = impl_->shards.emplace_back();
     shard.workers = workers;
     shard.pool = std::make_unique<ThreadPool>(workers);
     if (options.prepare_spd) {
-      if (s == 0)
+      if (s == 0) {
         shard.spd.emplace(*shard.pool, a, options.check_input,
                           options.storage);
-      else
+        // Before any clone is taken, so every shard aliases one analysis.
+        if (options.prepare_partitions) shard.spd->prepare_partitions();
+      } else {
         shard.spd.emplace(*shard.pool, *impl_->shards.front().spd);
+      }
       shard.spd_stats = shard.spd->stats();
     }
     if (options.prepare_lsq) {

@@ -115,6 +115,15 @@ struct ServiceOptions {
   /// ShardStats (ProblemStats::storage), each outcome's
   /// SolveOutcome::storage_used, and the trace events.
   StorageMode storage = StorageMode::kAuto;
+  /// Run the RCM partition analysis at service construction (SPD family;
+  /// shard 0 only — clones inherit the analysis like the compact storage
+  /// copies), so requests with SolveControls::partitions != 0 never pay the
+  /// O(nnz log nnz) analysis on the serving path.  Off by default: it
+  /// materializes a permuted copy of the operator.  Without it, the first
+  /// partitioned request on each service still triggers the analysis
+  /// lazily — but on shard 0's prototype it lands per-shard, so enable
+  /// this whenever partitioned requests are expected.
+  bool prepare_partitions = false;
   /// Optional per-request trace sink (one structured event per completed or
   /// rejected request); shared so one sink can serve several services.
   /// Must be internally synchronized (JsonTraceSink is).

@@ -118,10 +118,8 @@ struct ThreadPool::Impl {
 };
 
 ThreadPool::ThreadPool(int max_workers) {
-  if (max_workers <= 0) {
-    max_workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (max_workers <= 0) max_workers = 1;
-  }
+  max_workers =
+      detail::auto_pool_size(max_workers, std::thread::hardware_concurrency());
   impl_ = std::make_unique<Impl>(max_workers);
 }
 

@@ -20,6 +20,38 @@
 
 namespace asyrgs {
 
+namespace detail {
+
+/// Resolves a requested pool capacity: a positive request wins verbatim;
+/// otherwise the reported hardware concurrency, clamped to >= 1 because the
+/// standard permits std::thread::hardware_concurrency() to return 0
+/// ("unknown").  Split out as pure arithmetic so the 0 guard is testable
+/// without stubbing the global (tests pass hardware_threads explicitly).
+[[nodiscard]] constexpr int auto_pool_size(int requested,
+                                           unsigned hardware_threads) noexcept {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(hardware_threads);
+  return hw > 0 ? hw : 1;
+}
+
+/// Per-shard auto team size for a service dividing `hardware_threads`
+/// across `shards` pools: each shard gets hw / shards, the first hw % shards
+/// shards one extra (8 threads / 3 shards = 3, 3, 2 — no core idled by
+/// integer truncation).  A positive request wins verbatim; unknown (0)
+/// hardware concurrency and shards > hw both clamp to 1.  Used by
+/// SolverService; exposed here next to auto_pool_size so both sizing
+/// policies share the testable-arithmetic treatment.
+[[nodiscard]] constexpr int shard_auto_workers(
+    int requested, int shard, int shards, unsigned hardware_threads) noexcept {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(hardware_threads);
+  if (hw <= 0) return 1;
+  const int workers = hw / shards + (shard < hw % shards ? 1 : 0);
+  return workers >= 1 ? workers : 1;
+}
+
+}  // namespace detail
+
 /// Fixed-size pool of persistent worker threads executing "team" jobs.
 ///
 /// A team job is a callable `fn(worker_id, team_size)` executed concurrently

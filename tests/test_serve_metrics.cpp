@@ -85,6 +85,7 @@ TEST(TraceFormat, JsonLineIsStableAndMachineParseable) {
   e.status = "converged";
   e.storage = "int32_double";
   e.sampling = "weighted";
+  e.partitions = 4;
   e.shard = 3;
   e.priority = 0;
   e.warm_start = true;
@@ -94,7 +95,7 @@ TEST(TraceFormat, JsonLineIsStableAndMachineParseable) {
   EXPECT_EQ(format_json_trace(e),
             "{\"type\":\"request\",\"id\":42,\"kind\":\"lsq\","
             "\"status\":\"converged\",\"storage\":\"int32_double\","
-            "\"sampling\":\"weighted\","
+            "\"sampling\":\"weighted\",\"partitions\":4,"
             "\"shard\":3,\"priority\":0,"
             "\"warm_start\":true,\"enqueue_us\":1500000,"
             "\"start_us\":1502000,\"done_us\":2000000}");
@@ -108,6 +109,7 @@ TEST(TraceFormat, NeverStartedRequestRecordsMinusOneStart) {
   const std::string line = format_json_trace(e);
   EXPECT_NE(line.find("\"start_us\":-1"), std::string::npos);
   EXPECT_NE(line.find("\"shard\":-1"), std::string::npos);
+  EXPECT_NE(line.find("\"partitions\":0"), std::string::npos);
   EXPECT_NE(line.find("\"warm_start\":false"), std::string::npos);
 }
 

@@ -140,48 +140,89 @@ TEST(StorageGolden, OwnerComputesMultiWorkerMatchesPreRefactor) {
 
 constexpr index_t kTooWide = (index_t{1} << 31) + 10;  // > int32 range
 
+constexpr nnz_t kSmallNnz = 1000;  // well within every guard
+
 TEST(StorageOverflow, ResolvePolicyFallsBackAboveInt32Range) {
   bool fell_back = true;
-  EXPECT_EQ(resolve_storage_policy(StorageMode::kAuto, kTooWide, &fell_back),
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kAuto, kTooWide, kSmallNnz,
+                                   &fell_back),
             StoragePolicy::kInt64Double);
   EXPECT_FALSE(fell_back) << "kAuto staying wide is not a fallback";
 
   fell_back = false;
-  EXPECT_EQ(
-      resolve_storage_policy(StorageMode::kInt32Double, kTooWide, &fell_back),
-      StoragePolicy::kInt64Double);
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt32Double, kTooWide,
+                                   kSmallNnz, &fell_back),
+            StoragePolicy::kInt64Double);
   EXPECT_TRUE(fell_back);
 
   fell_back = false;
-  EXPECT_EQ(
-      resolve_storage_policy(StorageMode::kInt32Mixed, kTooWide, &fell_back),
-      StoragePolicy::kInt64Double);
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt32Mixed, kTooWide,
+                                   kSmallNnz, &fell_back),
+            StoragePolicy::kInt64Double);
   EXPECT_TRUE(fell_back);
 
   fell_back = true;
-  EXPECT_EQ(
-      resolve_storage_policy(StorageMode::kInt64Double, kTooWide, &fell_back),
-      StoragePolicy::kInt64Double);
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt64Double, kTooWide,
+                                   kSmallNnz, &fell_back),
+            StoragePolicy::kInt64Double);
   EXPECT_FALSE(fell_back);
 }
 
 TEST(StorageOverflow, ResolvePolicyNarrowsWhenShapeFits) {
   bool fell_back = true;
-  EXPECT_EQ(resolve_storage_policy(StorageMode::kAuto, 1000, &fell_back),
-            StoragePolicy::kInt32Double);
+  EXPECT_EQ(
+      resolve_storage_policy(StorageMode::kAuto, 1000, kSmallNnz, &fell_back),
+      StoragePolicy::kInt32Double);
   EXPECT_FALSE(fell_back);
   // kAuto never picks mixed — float values change the arithmetic and must
   // be an explicit request.
-  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt32Mixed, 1000),
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt32Mixed, 1000, kSmallNnz),
             StoragePolicy::kInt32Mixed);
-  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt64Double, 1000),
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt64Double, 1000, kSmallNnz),
             StoragePolicy::kInt64Double);
   // Boundary: int32 admits exactly 2^31 columns (indices 0 .. 2^31 - 1).
-  EXPECT_EQ(resolve_storage_policy(StorageMode::kAuto, index_t{1} << 31),
-            StoragePolicy::kInt32Double);
   EXPECT_EQ(
-      resolve_storage_policy(StorageMode::kAuto, (index_t{1} << 31) + 1),
-      StoragePolicy::kInt64Double);
+      resolve_storage_policy(StorageMode::kAuto, index_t{1} << 31, kSmallNnz),
+      StoragePolicy::kInt32Double);
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kAuto,
+                                   (index_t{1} << 31) + 1, kSmallNnz),
+            StoragePolicy::kInt64Double);
+}
+
+TEST(StorageOverflow, ResolvePolicyGuardsNnzAtTheInt32Edge) {
+  // A dimension that fits int32 must still refuse to narrow when the
+  // nonzero count overflows it — nnz-derived arithmetic on the compact
+  // copy stays inside 32 bits only up to 2^31 - 1 entries.
+  constexpr nnz_t kEdge = (nnz_t{1} << 31) - 1;  // last admissible count
+  bool fell_back = true;
+  EXPECT_EQ(
+      resolve_storage_policy(StorageMode::kAuto, 1000, kEdge, &fell_back),
+      StoragePolicy::kInt32Double);
+  EXPECT_FALSE(fell_back);
+
+  fell_back = true;
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kAuto, 1000, kEdge + 1,
+                                   &fell_back),
+            StoragePolicy::kInt64Double);
+  EXPECT_FALSE(fell_back) << "kAuto staying wide is not a fallback";
+
+  fell_back = false;
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt32Double, 1000, kEdge + 1,
+                                   &fell_back),
+            StoragePolicy::kInt64Double);
+  EXPECT_TRUE(fell_back);
+
+  fell_back = false;
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt32Mixed, 1000, kEdge + 1,
+                                   &fell_back),
+            StoragePolicy::kInt64Double);
+  EXPECT_TRUE(fell_back);
+
+  fell_back = true;
+  EXPECT_EQ(resolve_storage_policy(StorageMode::kInt64Double, 1000, kEdge + 1,
+                                   &fell_back),
+            StoragePolicy::kInt64Double);
+  EXPECT_FALSE(fell_back);
 }
 
 TEST(StorageOverflow, ConvertStorageThrowsBeyondIndexWidth) {

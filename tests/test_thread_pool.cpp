@@ -149,5 +149,33 @@ TEST(SpinBarrier, RejectsNonPositiveParticipants) {
   EXPECT_THROW(SpinBarrier(0), Error);
 }
 
+// --- sizing arithmetic: the hardware_concurrency() == 0 guards --------------
+//
+// The standard permits std::thread::hardware_concurrency() to return 0
+// ("unknown"); the sizing policies are pure functions of the reported value
+// precisely so that case is testable without stubbing the global.
+
+TEST(PoolSizing, AutoPoolSizeGuardsUnknownHardware) {
+  static_assert(detail::auto_pool_size(0, 0u) == 1);  // unknown -> 1, not 0
+  static_assert(detail::auto_pool_size(0, 8u) == 8);
+  static_assert(detail::auto_pool_size(5, 0u) == 5);  // explicit request wins
+  static_assert(detail::auto_pool_size(5, 8u) == 5);
+  EXPECT_EQ(detail::auto_pool_size(0, 1u), 1);
+}
+
+TEST(PoolSizing, ShardAutoWorkersSpreadsRemainderAndGuardsZero) {
+  // 8 threads / 3 shards = 3, 3, 2 — no core idled by truncation.
+  EXPECT_EQ(detail::shard_auto_workers(0, 0, 3, 8u), 3);
+  EXPECT_EQ(detail::shard_auto_workers(0, 1, 3, 8u), 3);
+  EXPECT_EQ(detail::shard_auto_workers(0, 2, 3, 8u), 2);
+  // Unknown hardware concurrency clamps every shard to 1, never 0.
+  for (int s = 0; s < 4; ++s)
+    EXPECT_EQ(detail::shard_auto_workers(0, s, 4, 0u), 1);
+  // More shards than cores: the starved shards still get one worker.
+  EXPECT_EQ(detail::shard_auto_workers(0, 7, 8, 4u), 1);
+  // An explicit request wins even with unknown hardware.
+  EXPECT_EQ(detail::shard_auto_workers(3, 2, 4, 0u), 3);
+}
+
 }  // namespace
 }  // namespace asyrgs

@@ -5,6 +5,7 @@
 //                [--threads 0] [--scan pinned|reassociated] [--repeat 1]
 //                [--shards 1] [--storage auto|int64|int32|mixed]
 //                [--sampling uniform|weighted|residual] [--resample 8]
+//                [--partitions 0] [--steal 0.0]
 //
 // Reads an SPD matrix (coordinate format, general or symmetric), prepares an
 // asyrgs::SpdProblem handle (validation + analysis paid once), solves
@@ -68,6 +69,15 @@ int main(int argc, char** argv) {
   auto resample = cli.add_int(
       "resample", 8,
       "residual sampling: rebuild the table every N rendezvous");
+  auto partitions = cli.add_int(
+      "partitions", 0,
+      "topology-aware partitioned scheduling: cut the RCM-ordered operator "
+      "into N cache-aligned partitions, one draw set per worker (0 = off; "
+      "asyrgs method only; see docs/TUNING.md)");
+  auto steal = cli.add_double(
+      "steal", 0.0,
+      "partitioned scheduling: probability in [0, 1) of drawing a halo "
+      "(neighbour-owned boundary) row instead of an owned row");
 
   try {
     cli.parse(argc, argv);
@@ -139,6 +149,8 @@ int main(int argc, char** argv) {
     else
       throw Error("unknown --sampling (want uniform|weighted|residual)");
     controls.resample_sweeps = static_cast<int>(*resample);
+    controls.partitions = static_cast<int>(*partitions);
+    controls.steal_rate = *steal;
     const bool kaczmarz = controls.method == SpdMethod::kAsyncKaczmarz;
 
     std::vector<double> x;
@@ -151,6 +163,7 @@ int main(int argc, char** argv) {
       service_options.shards = static_cast<int>(*shards);
       service_options.workers_per_shard = static_cast<int>(*threads);
       service_options.storage = storage_mode;
+      service_options.prepare_partitions = controls.partitions != 0;
       if (kaczmarz) {
         // Row-action least squares: only the lsq handles are needed (and
         // SPD preparation would reject rectangular inputs).
@@ -213,8 +226,11 @@ int main(int argc, char** argv) {
 
     std::cerr << "method: " << outcome.description << "\n"
               << "storage: " << to_string(outcome.storage_used) << "\n"
-              << "sampling: " << to_string(outcome.sampling_used) << "\n"
-              << "status: " << to_string(outcome.status)
+              << "sampling: " << to_string(outcome.sampling_used) << "\n";
+    if (outcome.partitions_used != 0)
+      std::cerr << "partitions: " << outcome.partitions_used << " (steal "
+                << outcome.steal_rate_used << ")\n";
+    std::cerr << "status: " << to_string(outcome.status)
               << "  iterations: " << outcome.iterations
               << "  time: " << outcome.seconds << " s\n"
               << "relative residual: " << relative_residual(a, b, x) << "\n";
